@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 15 reproduction: K/V memory-access cost and Scheduler buffer
+ * requirement as token parallelism sweeps 1..6 (Text benchmark,
+ * retention 10%). The reproduced claims: diminishing memory-access
+ * returns beyond T ~ 4, exponential (2^T - 1) scheduler buffer growth,
+ * and a total-cost sweet spot at T = 4.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/dota.hpp"
+
+using namespace dota;
+
+int
+main()
+{
+    bench::banner("Figure 15: token-parallelism design-space exploration",
+                  "DOTA Figure 15 (Text benchmark, retention 10%; sweet "
+                  "spot at T = 4)");
+
+    const Benchmark &b = benchmark(BenchmarkId::Text);
+    const double retention = 0.10;
+    Rng rng(151);
+    const SparseMask mask = synthesizeMask(
+        b.paper_shape.seq_len, profileFor(b.id, retention), rng);
+    const EnergyModel em = EnergyModel::tsmc22();
+    const size_t dh = b.paper_shape.headDim();
+
+    // Normalization: memory cost of T = 1 (row-by-row-equivalent).
+    const auto base = analyzeDataflow(mask, Dataflow::TokenParallelOoO, 1);
+    const double base_mem_pj =
+        static_cast<double>(base.key_loads) * 2.0 * dh * 2.0 *
+        em.sram_read_pj;
+
+    Table t("K/V memory access and scheduler cost vs token parallelism");
+    t.header({"T", "key loads", "normalized mem cost", "scheduler pJ/issue",
+              "normalized sched cost", "total (norm)", "buffers (2^T-1)"});
+    double best_total = 1e30;
+    size_t best_t = 0;
+    for (size_t t_par = 1; t_par <= 6; ++t_par) {
+        const auto stats =
+            analyzeDataflow(mask, Dataflow::TokenParallelOoO, t_par);
+        const double mem_pj =
+            static_cast<double>(stats.key_loads) * 2.0 * dh * 2.0 *
+            em.sram_read_pj;
+        const double sched_pj =
+            static_cast<double>(stats.key_loads) *
+            em.schedulerIssuePj(t_par);
+        const double mem_norm = mem_pj / base_mem_pj;
+        const double sched_norm = sched_pj / base_mem_pj;
+        const double total = mem_norm + sched_norm;
+        if (total < best_total) {
+            best_total = total;
+            best_t = t_par;
+        }
+        t.addRow({fmtNum(static_cast<double>(t_par), 0),
+                  fmtNum(static_cast<double>(stats.key_loads), 0),
+                  fmtNum(mem_norm, 3),
+                  fmtNum(em.schedulerIssuePj(t_par), 3),
+                  fmtNum(sched_norm, 3), fmtNum(total, 3),
+                  fmtNum(static_cast<double>((1u << t_par) - 1), 0)});
+    }
+    t.print(std::cout);
+    std::cout << "\nlowest total cost at T = " << best_t
+              << "  (paper picks T = 4)\n";
+
+    // Cross-benchmark check the paper mentions: "most benchmarks have an
+    // optimal parallelism to be or around 4".
+    Table x("Optimal T per benchmark (same methodology)");
+    x.header({"benchmark", "optimal T"});
+    for (const Benchmark &bb : allBenchmarks()) {
+        Rng r2(152);
+        const SparseMask m2 =
+            synthesizeMask(std::min<size_t>(bb.paper_shape.seq_len, 2048),
+                           profileFor(bb.id, bb.retention_conservative),
+                           r2, bb.paper_shape.decoder);
+        const size_t dh2 = bb.paper_shape.headDim();
+        double best = 1e30;
+        size_t arg = 0;
+        const auto b1 =
+            analyzeDataflow(m2, Dataflow::TokenParallelOoO, 1);
+        const double norm = static_cast<double>(b1.key_loads) * 2.0 *
+                            dh2 * 2.0 * em.sram_read_pj;
+        for (size_t t_par = 1; t_par <= 6; ++t_par) {
+            const auto stats =
+                analyzeDataflow(m2, Dataflow::TokenParallelOoO, t_par);
+            const double mem = static_cast<double>(stats.key_loads) *
+                               2.0 * dh2 * 2.0 * em.sram_read_pj;
+            const double sched = static_cast<double>(stats.key_loads) *
+                                 em.schedulerIssuePj(t_par);
+            const double total = (mem + sched) / norm;
+            if (total < best) {
+                best = total;
+                arg = t_par;
+            }
+        }
+        x.addRow({bb.name, fmtNum(static_cast<double>(arg), 0)});
+    }
+    x.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the performance-critical kernels:
+ * reference GEMM, quantized detection GEMM, row-wise top-k selection,
+ * the locality-aware scheduler, and the detector's score estimation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "detect/detector.hpp"
+#include "sched/dataflow.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/topk.hpp"
+#include "workloads/mask_synth.hpp"
+
+using namespace dota;
+
+namespace {
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(1);
+    const Matrix a = Matrix::randomNormal(n, n, rng);
+    const Matrix b = Matrix::randomNormal(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(matmul(a, b));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmBT(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(2);
+    const Matrix a = Matrix::randomNormal(n, 64, rng);
+    const Matrix b = Matrix::randomNormal(n, 64, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmulBT(a, b));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * n * 64));
+}
+BENCHMARK(BM_GemmBT)->Arg(128)->Arg(384);
+
+void
+BM_QuantizedDetectionGemm(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(3);
+    const Matrix q = Matrix::randomNormal(n, 16, rng);
+    const Matrix k = Matrix::randomNormal(n, 16, rng);
+    const QuantizedMatrix qq = quantize(q, 8);
+    const QuantizedMatrix qk = quantize(k, 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quantizedMatmulBT(qq, qk));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * n * 16));
+}
+BENCHMARK(BM_QuantizedDetectionGemm)->Arg(128)->Arg(384);
+
+void
+BM_TopkMask(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(4);
+    const Matrix s = Matrix::randomNormal(n, n, rng);
+    const size_t k = n / 10;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(topkMask(s, k));
+}
+BENCHMARK(BM_TopkMask)->Arg(128)->Arg(512);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(5);
+    const Matrix s = Matrix::randomNormal(n, n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rowSoftmax(s));
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(512);
+
+void
+BM_LocalityAwareScheduler(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(6);
+    MaskProfile p = profileFor(BenchmarkId::Text, 0.1);
+    const SparseMask mask = synthesizeMask(n, p, rng);
+    for (auto _ : state) {
+        const auto stats =
+            analyzeDataflow(mask, Dataflow::TokenParallelOoO, 4);
+        benchmark::DoNotOptimize(stats.key_loads);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(mask.nnz()));
+}
+BENCHMARK(BM_LocalityAwareScheduler)->Arg(512)->Arg(2048);
+
+void
+BM_DetectorEstimate(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    TransformerConfig mc;
+    mc.in_dim = 16;
+    mc.dim = 64;
+    mc.heads = 4;
+    mc.layers = 1;
+    mc.ffn_dim = 128;
+    DetectorConfig dc;
+    dc.sigma = 0.25;
+    DotaDetector det(mc, dc);
+    Rng rng(7);
+    const Matrix x = Matrix::randomNormal(n, 64, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(det.estimateScores(0, 0, x));
+}
+BENCHMARK(BM_DetectorEstimate)->Arg(128)->Arg(384);
+
+} // namespace
+
+BENCHMARK_MAIN();

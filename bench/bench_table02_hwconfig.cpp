@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 2 reproduction: configuration, power and area of the DOTA
+ * accelerator under 22nm / 1 GHz, from the energy/area model.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/energy_model.hpp"
+
+using namespace dota;
+
+int
+main()
+{
+    bench::banner("Table 2: DOTA configuration, power, and area",
+                  "DOTA Table 2 (22nm, 1 GHz)");
+
+    const HwConfig hw = HwConfig::dota();
+    const EnergyModel em = EnergyModel::tsmc22();
+    const auto rows = powerAreaBudget(hw, em);
+
+    struct PaperRow { const char *module; double mw, mm2; };
+    const PaperRow paper[] = {
+        {"Lane (all)", 2878.33, 2.701},   {"Lane.RMMU", 645.98, 0.609},
+        {"Lane.Filter", 9.13, 0.003},     {"Lane.MFU", 60.73, 0.060},
+        {"Accumulator", 139.21, 0.045},
+        {"DOTA (w/o SRAM)", 3017.54, 2.746},
+        {"SRAM", 0.51, 1.690},
+    };
+
+    Table t("Module budget (ours vs paper Table 2)");
+    t.header({"module", "configuration", "power (mW)", "paper",
+              "area (mm^2)", "paper"});
+    for (const ModuleBudget &r : rows) {
+        double pmw = 0.0, pmm = 0.0;
+        for (const PaperRow &p : paper)
+            if (r.module == p.module) {
+                pmw = p.mw;
+                pmm = p.mm2;
+            }
+        t.addRow({r.module, r.configuration, fmtNum(r.power_mw, 2),
+                  fmtNum(pmw, 2), fmtNum(r.area_mm2, 3),
+                  fmtNum(pmm, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nfabric: " << hw.lanes << " lanes, "
+              << hw.lane.rmmu.pe_rows << "x" << hw.lane.rmmu.pe_cols
+              << " PEs/lane, " << fmtNum(hw.peakTops(), 3)
+              << " TOPS peak, " << fmtBytes(double(hw.sramBytes()))
+              << " SRAM\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: consistent
+ * banners, tables with a "paper" reference column, and a fast mode
+ * (DOTA_BENCH_FAST=1) that trims training budgets for smoke runs.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace dota::bench {
+
+/** True when DOTA_BENCH_FAST=1 is set: use reduced training budgets. */
+inline bool
+fastMode()
+{
+    const char *env = std::getenv("DOTA_BENCH_FAST");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Scale a step budget down in fast mode. */
+inline size_t
+budget(size_t full)
+{
+    return fastMode() ? std::max<size_t>(5, full / 8) : full;
+}
+
+/** Standard experiment header. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    printBanner(std::cout, what);
+    std::cout << "reproduces: " << paper_ref << "\n";
+    if (fastMode())
+        std::cout << "(DOTA_BENCH_FAST=1: reduced training budgets; "
+                     "expect noisier accuracy numbers)\n";
+    std::cout << "\n";
+}
+
+} // namespace dota::bench

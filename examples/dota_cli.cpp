@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Command-line driver for the simulator: run any benchmark on any device
+ * with configurable fabric/dataflow options, no recompilation needed.
+ *
+ * Usage:
+ *   dota_cli [--benchmark QA|Image|Text|Retrieval|LM]
+ *            [--mode full|conservative|aggressive]
+ *            [--device dota|gpu|elsa] [--lanes N] [--parallelism T]
+ *            [--dataflow ooo|inorder|rowbyrow] [--sigma S] [--bits B]
+ *            [--overlap] [--generation] [--csv]
+ *
+ * Examples:
+ *   dota_cli --benchmark Retrieval --mode aggressive
+ *   dota_cli --benchmark LM --generation --mode conservative
+ *   dota_cli --device gpu --benchmark Text
+ */
+#include <iostream>
+
+#include "common/strutil.hpp"
+#include "core/dota.hpp"
+#include "sim/trace.hpp"
+
+using namespace dota;
+
+namespace {
+
+struct CliOptions
+{
+    std::string benchmark = "Text";
+    std::string device = "dota";
+    DotaMode mode = DotaMode::Conservative;
+    size_t lanes = 24;
+    bool generation = false;
+    bool csv = false;
+    bool trace = false;
+    SimOptions sim;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: dota_cli [--benchmark QA|Image|Text|Retrieval|LM]\n"
+        "                [--mode full|conservative|aggressive]\n"
+        "                [--device dota|gpu|elsa] [--lanes N]\n"
+        "                [--parallelism T] [--dataflow ooo|inorder|"
+        "rowbyrow]\n"
+        "                [--sigma S] [--bits 2|4|8] [--overlap]\n"
+        "                [--generation] [--trace] [--csv]\n";
+    std::exit(2);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions opt;
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--benchmark") {
+            opt.benchmark = need(i);
+        } else if (arg == "--device") {
+            opt.device = toLower(need(i));
+        } else if (arg == "--mode") {
+            const std::string m = toLower(need(i));
+            if (m == "full")
+                opt.mode = DotaMode::Full;
+            else if (m == "conservative")
+                opt.mode = DotaMode::Conservative;
+            else if (m == "aggressive")
+                opt.mode = DotaMode::Aggressive;
+            else
+                usage();
+        } else if (arg == "--lanes") {
+            opt.lanes = std::stoul(need(i));
+        } else if (arg == "--parallelism") {
+            opt.sim.token_parallelism = std::stoul(need(i));
+        } else if (arg == "--dataflow") {
+            const std::string d = toLower(need(i));
+            if (d == "ooo")
+                opt.sim.dataflow = Dataflow::TokenParallelOoO;
+            else if (d == "inorder")
+                opt.sim.dataflow = Dataflow::TokenParallelInOrder;
+            else if (d == "rowbyrow")
+                opt.sim.dataflow = Dataflow::RowByRow;
+            else
+                usage();
+        } else if (arg == "--sigma") {
+            opt.sim.detector_sigma = std::stod(need(i));
+        } else if (arg == "--bits") {
+            opt.sim.detector_bits = std::stoi(need(i));
+        } else if (arg == "--overlap") {
+            opt.sim.overlap_detection = true;
+        } else if (arg == "--generation") {
+            opt.generation = true;
+        } else if (arg == "--trace") {
+            opt.trace = true;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else {
+            std::cerr << "unknown flag '" << arg << "'\n";
+            usage();
+        }
+    }
+    return opt;
+}
+
+void
+printReport(const RunReport &r, bool csv)
+{
+    Table t(format("{} on {}", r.benchmark, r.device));
+    t.header({"phase", "cycles/layer", "MACs/layer", "SRAM/layer",
+              "DRAM/layer", "energy/layer"});
+    for (const PhaseCost *p :
+         {&r.per_layer.linear, &r.per_layer.detection,
+          &r.per_layer.attention}) {
+        t.addRow({p->name, fmtNum(double(p->cycles), 0),
+                  fmtNum(double(p->macs), 0),
+                  fmtBytes(double(p->sram_bytes)),
+                  fmtBytes(double(p->dram_bytes)),
+                  fmtNum(p->energy_pj * 1e-9, 4) + "mJ"});
+    }
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "layers: " << r.layers << ", total time "
+              << fmtNum(r.timeMs(), 3) << "ms, total energy "
+              << fmtNum(r.totalEnergyJ() * 1e3, 3) << "mJ\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parse(argc, argv);
+    const Benchmark &bench = benchmarkByName(opt.benchmark);
+
+    if (opt.device == "gpu") {
+        const GpuReport g = opt.generation
+                                ? simulateGpuGeneration(bench)
+                                : simulateGpu(bench);
+        std::cout << bench.name << " on V100: linear "
+                  << fmtNum(g.linear_ms, 2) << "ms, attention "
+                  << fmtNum(g.attention_ms, 2) << "ms, total "
+                  << fmtNum(g.totalMs(), 2) << "ms, energy "
+                  << fmtNum(g.energy_j, 2) << "J\n";
+        return 0;
+    }
+
+    HwConfig hw = HwConfig::dota();
+    hw.lanes = opt.lanes;
+    hw.dram_gb_per_s = 16.0 * static_cast<double>(opt.lanes);
+
+    if (opt.device == "elsa") {
+        ElsaAccelerator elsa(hw);
+        printReport(elsa.simulate(bench), opt.csv);
+        return 0;
+    }
+    if (opt.device != "dota")
+        usage();
+
+    DotaAccelerator acc(hw);
+    SimOptions sim = opt.sim;
+    sim.mode = opt.mode;
+    const RunReport r = opt.generation
+                            ? acc.simulateGeneration(bench, sim)
+                            : acc.simulate(bench, sim);
+    printReport(r, opt.csv);
+
+    if (opt.trace) {
+        std::cout << "\nexecution trace of the first attention group:\n";
+        Rng rng(sim.mask_seed);
+        const double retention = modeRetention(bench, opt.mode);
+        const SparseMask mask = synthesizeMask(
+            bench.paper_shape.seq_len,
+            profileFor(bench.id, retention < 1.0 ? retention : 0.1), rng,
+            bench.paper_shape.decoder);
+        LocalityAwareScheduler las(sim.token_parallelism);
+        const GroupTrace trace = traceAttentionGroup(
+            las.scheduleGroup(mask, 0), hw.lane,
+            bench.paper_shape.headDim());
+        trace.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Implementation of the GPU baseline model.
+ */
+#include "baselines/gpu_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+namespace {
+
+/** Roofline time of one kernel in milliseconds. */
+double
+kernelMs(double flops, double bytes, double eff_compute, double eff_bw,
+         const GpuConfig &cfg)
+{
+    const double compute_s =
+        flops / (cfg.peak_tflops * 1e12 * eff_compute);
+    const double mem_s = bytes / (cfg.mem_gb_per_s * 1e9 * eff_bw);
+    return (std::max(compute_s, mem_s) + cfg.kernel_launch_us * 1e-6) *
+           1e3;
+}
+
+} // namespace
+
+GpuReport
+simulateGpu(const Benchmark &bench, const GpuConfig &cfg)
+{
+    const ModelShape &s = bench.paper_shape;
+    const double n = static_cast<double>(s.seq_len);
+    const double d = static_cast<double>(s.dim);
+    const double ffn = static_cast<double>(s.ffn_dim);
+    const double h = static_cast<double>(s.heads);
+    const double dh = static_cast<double>(s.headDim());
+
+    GpuReport report;
+    report.benchmark = bench.name;
+
+    double linear_ms = 0.0, attention_ms = 0.0;
+    // One dense forward pass per layer; causal benchmarks (perplexity
+    // scoring) run the same kernels with an attention mask, which the
+    // GPU computes densely anyway.
+    // QKV, output projection, FC1, FC2 (2 flops per MAC).
+    linear_ms += kernelMs(2 * n * d * 3 * d, (n * d + 3 * d * d) * 2,
+                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
+    linear_ms += kernelMs(2 * n * d * d, (n * d + d * d) * 2,
+                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
+    linear_ms += kernelMs(2 * n * d * ffn, (n * d + d * ffn) * 2,
+                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
+    linear_ms += kernelMs(2 * n * ffn * d, (n * ffn + d * ffn) * 2,
+                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
+
+    // Attention: S = QK^T and Z = A V (batched per head, low
+    // efficiency), plus the memory-bound softmax pipeline (mask + max +
+    // exp + sum + div elementwise passes over h * n^2).
+    attention_ms += kernelMs(2 * h * n * n * dh,
+                             h * (2 * n * dh + n * n) * 2,
+                             cfg.attention_eff, cfg.softmax_bw_eff, cfg);
+    attention_ms += kernelMs(2 * h * n * n * dh,
+                             h * (n * n + 2 * n * dh) * 2,
+                             cfg.attention_eff, cfg.softmax_bw_eff, cfg);
+    attention_ms += kernelMs(5 * h * n * n /* exp+sum+div */,
+                             5 * h * n * n * 4, cfg.gemm_eff,
+                             cfg.softmax_bw_eff, cfg);
+
+    report.linear_ms = linear_ms * static_cast<double>(s.layers);
+    report.attention_ms = attention_ms * static_cast<double>(s.layers);
+    report.energy_j = cfg.board_power_w * report.totalMs() * 1e-3;
+    return report;
+}
+
+GpuReport
+simulateGpuGeneration(const Benchmark &bench, const GpuConfig &cfg)
+{
+    const ModelShape &s = bench.paper_shape;
+    DOTA_ASSERT(s.decoder, "GPU generation needs a causal benchmark");
+    const double n = static_cast<double>(s.seq_len);
+    const double d = static_cast<double>(s.dim);
+    const double ffn = static_cast<double>(s.ffn_dim);
+    const double h = static_cast<double>(s.heads);
+    const double dh = static_cast<double>(s.headDim());
+
+    GpuReport report;
+    report.benchmark = bench.name;
+
+    // Per-token GEMVs: weights re-stream from HBM every step.
+    const double weight_bytes = (4 * d * d + 2 * d * ffn) * 2;
+    const double linear_ms =
+        n * kernelMs(2 * (4 * d * d + 2 * d * ffn), weight_bytes,
+                     cfg.gemm_eff, cfg.gemv_bw_eff, cfg);
+
+    // Attention over the KV cache: token t touches t vectors; three
+    // kernels (scores, softmax, output) launch per step.
+    const double visible = n * (n + 1) / 2.0;
+    double attention_ms =
+        n * 3.0 * cfg.kernel_launch_us * 1e-6 * 1e3;
+    attention_ms += kernelMs(2 * h * visible * dh * 2,
+                             h * 2 * visible * dh * 2, cfg.attention_eff,
+                             cfg.gemv_bw_eff, cfg);
+
+    report.linear_ms = linear_ms * static_cast<double>(s.layers);
+    report.attention_ms = attention_ms * static_cast<double>(s.layers);
+    report.energy_j = cfg.board_power_w * report.totalMs() * 1e-3;
+    return report;
+}
+
+} // namespace dota

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic model of the NVIDIA V100 GPU baseline (Section 5.1).
+ *
+ * A calibrated roofline: every kernel runs at
+ * max(flops / (peak * efficiency), bytes / (bandwidth * efficiency)) plus
+ * a fixed launch overhead. Efficiencies are per kernel class — large
+ * weight GEMMs run near peak, but the attention batched GEMMs (tall-skinny
+ * with tiny reduction dims per head) and the memory-bound softmax run far
+ * below it, which is exactly where the paper's GPU gap comes from. The
+ * GPU computes attention densely (no detection path exists for it).
+ */
+#pragma once
+
+#include "sim/report.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace dota {
+
+/** V100-class device description. */
+struct GpuConfig
+{
+    double peak_tflops = 14.0;   ///< FP32/TensorCore-equivalent peak
+    double mem_gb_per_s = 900.0; ///< HBM2 bandwidth
+    double board_power_w = 250.0;
+
+    // Achieved-efficiency factors (calibrated; see EXPERIMENTS.md).
+    double gemm_eff = 0.55;      ///< large weight GEMMs / FFN
+    double attention_eff = 0.08; ///< per-head batched QK^T / AV GEMMs
+    double softmax_bw_eff = 0.5; ///< softmax/memory-bound kernels
+    double gemv_bw_eff = 0.65;   ///< decoder GEMV streaming
+    double kernel_launch_us = 4.0;
+
+    static GpuConfig v100() { return GpuConfig{}; }
+};
+
+/** GPU timing/energy result, same layout as the accelerator reports. */
+struct GpuReport
+{
+    std::string benchmark;
+    double linear_ms = 0.0;    ///< projections + FFN (all layers)
+    double attention_ms = 0.0; ///< dense QK^T + softmax + AV (all layers)
+    double energy_j = 0.0;
+
+    double totalMs() const { return linear_ms + attention_ms; }
+};
+
+/** Simulate dense single-pass inference of @p bench on the GPU. */
+GpuReport simulateGpu(const Benchmark &bench,
+                      const GpuConfig &cfg = GpuConfig::v100());
+
+/**
+ * Simulate autoregressive *generation* of a causal benchmark on the GPU
+ * with a KV cache: per-token weight-streaming GEMVs (memory-bound) and
+ * per-step attention/softmax kernels whose launch overheads dominate at
+ * small step sizes — the counterpart of
+ * DotaAccelerator::simulateGeneration.
+ */
+GpuReport simulateGpuGeneration(const Benchmark &bench,
+                                const GpuConfig &cfg = GpuConfig::v100());
+
+} // namespace dota

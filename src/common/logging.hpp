@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * panic()  - an internal invariant was violated; this is a bug in DOTA
+ *            itself. Aborts (so a debugger/core dump can inspect state).
+ * fatal()  - the simulation cannot continue because of a user error (bad
+ *            configuration, invalid arguments). Exits with status 1.
+ * warn()   - something works but maybe not the way the user expects.
+ * inform() - normal operational status, no connotation of a problem.
+ *
+ * All take a printf-free "{}"-style format string, e.g.
+ *   fatal("sequence length {} is not a multiple of tile size {}", n, t);
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dota {
+
+namespace detail {
+
+/** Terminal recursion: no arguments left, copy the rest verbatim. */
+inline void
+formatInto(std::ostringstream &os, std::string_view fmt)
+{
+    os << fmt;
+}
+
+/** Substitute the next "{}" in @p fmt with @p head, then recurse. */
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, std::string_view fmt, const T &head,
+           Rest &&...rest)
+{
+    auto pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        os << fmt;
+        return;
+    }
+    os << fmt.substr(0, pos) << head;
+    formatInto(os, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Render a "{}"-style format string to a std::string. */
+template <typename... Args>
+std::string
+format(std::string_view fmt, Args &&...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, fmt, std::forward<Args>(args)...);
+    return os.str();
+}
+
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, std::string_view fmt, Args &&...args)
+{
+    detail::panicImpl(file, line, format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, std::string_view fmt, Args &&...args)
+{
+    detail::fatalImpl(file, line, format(fmt, std::forward<Args>(args)...));
+}
+
+/** Warn the user about suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    detail::warnImpl(format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print a normal status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    detail::informImpl(format(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace dota
+
+#define DOTA_PANIC(...) ::dota::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define DOTA_FATAL(...) ::dota::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Cheap always-on invariant check; use for simulator-internal invariants. */
+#define DOTA_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dota::panicAt(__FILE__, __LINE__,                             \
+                            "assertion '" #cond "' failed: "                \
+                            __VA_ARGS__);                                   \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for all of DOTA.
+ *
+ * Everything in this repository (weight init, synthetic workloads, random
+ * projections, trace generation) draws from Rng so every experiment is
+ * reproducible from a single seed. The generator is xoshiro256** which is
+ * fast, has a 256-bit state, and passes BigCrush.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dota {
+
+/** Deterministic random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed with SplitMix64 expansion of @p seed so any seed is valid. */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eedULL)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        // Lemire's unbiased bounded generation (simple rejection variant).
+        uint64_t x, r;
+        do {
+            x = next();
+            r = x % n;
+        } while (x - r > uint64_t(-n));
+        return r;
+    }
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double
+    normal()
+    {
+        if (has_cached_) {
+            has_cached_ = false;
+            return cached_;
+        }
+        double u1, u2;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        cached_ = mag * std::sin(2.0 * M_PI * u2);
+        has_cached_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Normal with mean/stddev. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Sample @p k distinct indices from [0, n) (Floyd's algorithm). */
+    std::vector<size_t>
+    sampleWithoutReplacement(size_t n, size_t k)
+    {
+        if (k > n)
+            k = n;
+        std::vector<size_t> out;
+        out.reserve(k);
+        // Floyd: for j in n-k..n-1, pick t in [0, j]; if taken, use j.
+        for (size_t j = n - k; j < n; ++j) {
+            size_t t = static_cast<size_t>(uniformInt(j + 1));
+            bool taken = false;
+            for (size_t v : out) {
+                if (v == t) {
+                    taken = true;
+                    break;
+                }
+            }
+            out.push_back(taken ? j : t);
+        }
+        return out;
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-module streams). */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+    double cached_ = 0.0;
+    bool has_cached_ = false;
+};
+
+} // namespace dota

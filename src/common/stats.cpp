@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Implementation of the statistics package.
+ */
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::string name, double lo, double hi, size_t buckets)
+    : name_(std::move(name)), lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    DOTA_ASSERT(hi > lo, "histogram range must be non-empty");
+    DOTA_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v, uint64_t weight)
+{
+    total_ += weight;
+    if (v < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (v >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    auto idx = static_cast<size_t>((v - lo_) / width);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    buckets_[idx] += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::bucketLow(size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHigh(size_t i) const
+{
+    return bucketLow(i + 1);
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (total_ == 0)
+        return lo_;
+    const double target = fraction * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (seen >= target)
+        return lo_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        const double next = seen + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            // Linear interpolation inside the bucket.
+            const double frac_in =
+                (target - seen) / static_cast<double>(buckets_[i]);
+            return bucketLow(i) + frac_in * (bucketHigh(i) - bucketLow(i));
+        }
+        seen = next;
+    }
+    return hi_;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---- stats: " << name_ << " ----\n";
+    for (const Counter *c : counters_) {
+        os << std::left << std::setw(40) << (name_ + "." + c->name())
+           << std::right << std::setw(20) << c->value();
+        if (!c->desc().empty())
+            os << "  # " << c->desc();
+        os << "\n";
+    }
+    for (const Distribution *d : dists_) {
+        os << std::left << std::setw(40) << (name_ + "." + d->name())
+           << " count=" << d->count() << " mean=" << d->mean()
+           << " min=" << d->min() << " max=" << d->max()
+           << " stddev=" << d->stddev() << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Distribution *d : dists_)
+        d->reset();
+}
+
+} // namespace dota

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight statistics package for the simulator, in the spirit of the
+ * gem5 stats framework: named scalar counters and distributions that
+ * register with a StatGroup and can be dumped as a formatted report.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dota {
+
+/** A named, monotonically accumulating scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    Counter &operator+=(double v) { value_ += v; return *this; }
+    Counter &operator++() { value_ += 1.0; return *this; }
+
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** Running summary (count/mean/min/max/stddev) of a sampled quantity. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    /** Record one sample using Welford's online update. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+        const double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
+        sum_ += v;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        mean_ = m2_ = sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(std::string name, double lo, double hi, size_t buckets);
+
+    void sample(double v, uint64_t weight = 1);
+    void reset();
+
+    uint64_t total() const { return total_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    double bucketLow(size_t i) const;
+    double bucketHigh(size_t i) const;
+
+    /** Value below which @p fraction of the mass lies (approximate). */
+    double percentile(double fraction) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one simulated module.
+ * Modules own their StatGroup and register pointers to member stats; the
+ * group can render a human-readable dump.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(Counter *c) { counters_.push_back(c); }
+    void addDistribution(Distribution *d) { dists_.push_back(d); }
+
+    void dump(std::ostream &os) const;
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<Counter *> counters_;
+    std::vector<Distribution *> dists_;
+};
+
+} // namespace dota

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string helpers used across the codebase.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dota {
+
+/** Split @p s on @p sep, dropping empty pieces if @p keep_empty is false. */
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool keep_empty = false);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Join a list of strings with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+} // namespace dota

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Implementation of the table/series printers.
+ */
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+Table &
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+    return *this;
+}
+
+Table &
+Table::addRow(std::vector<std::string> cells)
+{
+    DOTA_ASSERT(header_.empty() || cells.size() == header_.size(),
+                "row width {} != header width {}", cells.size(),
+                header_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto rule = [&os, &widths]() {
+        os << "+";
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto line = [&os, &widths](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            os << " " << std::left << std::setw(static_cast<int>(widths[i]))
+               << c << " |";
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    rule();
+    if (!header_.empty()) {
+        line(header_);
+        rule();
+    }
+    for (const auto &r : rows_)
+        line(r);
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&os](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            os << (i ? "," : "") << cells[i];
+        os << "\n";
+    };
+    if (!header_.empty())
+        line(header_);
+    for (const auto &r : rows_)
+        line(r);
+}
+
+std::string
+fmtNum(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    std::string s = os.str();
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0')
+            s.pop_back();
+        if (!s.empty() && s.back() == '.')
+            s.pop_back();
+    }
+    return s.empty() ? "0" : s;
+}
+
+std::string
+fmtSpeedup(double v)
+{
+    return fmtNum(v, v >= 100 ? 1 : 2) + "x";
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (std::abs(bytes) >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    return fmtNum(bytes, 2) + units[u];
+}
+
+std::string
+fmtPct(double fraction)
+{
+    return fmtNum(fraction * 100.0, 2) + "%";
+}
+
+void
+printBanner(std::ostream &os, const std::string &text)
+{
+    const std::string bar(std::max<size_t>(text.size() + 8, 40), '=');
+    os << "\n" << bar << "\n==  " << text << "\n" << bar << "\n";
+}
+
+} // namespace dota

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table and series printers shared by every bench harness.
+ *
+ * The bench binaries reproduce the paper's tables and figures as text; this
+ * gives them one consistent, aligned rendering (and a CSV mode for plotting).
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dota {
+
+/** A simple column-aligned table builder. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. Must be called before addRow. */
+    Table &header(std::vector<std::string> cols);
+
+    /** Append a row of pre-rendered cells. */
+    Table &addRow(std::vector<std::string> cells);
+
+    /** Render with box-drawing alignment. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant decimals, trimming zeros. */
+std::string fmtNum(double v, int digits = 3);
+
+/** Format a double as a multiplier, e.g. "152.6x". */
+std::string fmtSpeedup(double v);
+
+/** Format a count of bytes as B/KB/MB/GB. */
+std::string fmtBytes(double bytes);
+
+/** Format a percentage with one decimal, e.g. "91.4%". */
+std::string fmtPct(double fraction);
+
+/** Print a section banner used between bench sub-experiments. */
+void printBanner(std::ostream &os, const std::string &text);
+
+} // namespace dota

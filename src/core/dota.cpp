@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Implementation of the System facade.
+ */
+#include "core/dota.hpp"
+
+namespace dota {
+
+namespace {
+
+HwConfig
+fabricFor(const System::Options &opt)
+{
+    return opt.scale_for_gpu ? HwConfig::dotaScaledForGpu()
+                             : HwConfig::dota();
+}
+
+/** Attention-block energy (detection + attention + leakage share). */
+double
+attentionEnergyJ(const RunReport &r)
+{
+    const double dynamic =
+        (r.per_layer.detection.energy_pj + r.per_layer.attention.energy_pj) *
+        static_cast<double>(r.layers) * 1e-12;
+    const double total_cycles =
+        static_cast<double>(r.totalCycles());
+    const double att_cycles = static_cast<double>(
+        (r.per_layer.detection.cycles + r.per_layer.attention.cycles) *
+        r.layers);
+    const double leak_share =
+        total_cycles > 0.0 ? r.leakage_j * att_cycles / total_cycles : 0.0;
+    return dynamic + leak_share;
+}
+
+} // namespace
+
+System::System() : System(Options{}) {}
+
+System::System(Options opt)
+    : opt_(opt), dota_(fabricFor(opt), opt.energy),
+      elsa_(fabricFor(opt), opt.energy, opt.elsa)
+{}
+
+RunReport
+System::run(BenchmarkId id, DotaMode mode) const
+{
+    SimOptions sim = opt_.sim;
+    sim.mode = mode;
+    return dota_.simulate(benchmark(id), sim);
+}
+
+GpuReport
+System::runGpu(BenchmarkId id) const
+{
+    return simulateGpu(benchmark(id), opt_.gpu);
+}
+
+RunReport
+System::runElsa(BenchmarkId id) const
+{
+    return elsa_.simulate(benchmark(id));
+}
+
+System::Comparison
+System::compare(BenchmarkId id) const
+{
+    const Benchmark &bench = benchmark(id);
+    const GpuReport gpu = runGpu(id);
+    const RunReport elsa = runElsa(id);
+    const RunReport cons = run(id, DotaMode::Conservative);
+    const RunReport aggr = run(id, DotaMode::Aggressive);
+
+    Comparison cmp;
+    cmp.benchmark = bench.name;
+
+    cmp.attention_speedup_elsa = gpu.attention_ms / elsa.attentionTimeMs();
+    cmp.attention_speedup_c = gpu.attention_ms / cons.attentionTimeMs();
+    cmp.attention_speedup_a = gpu.attention_ms / aggr.attentionTimeMs();
+
+    cmp.e2e_speedup_c = gpu.totalMs() / cons.timeMs();
+    cmp.e2e_speedup_a = gpu.totalMs() / aggr.timeMs();
+    // Amdahl upper bound: the accelerator at peak with free attention.
+    cmp.e2e_upper_bound = gpu.totalMs() / cons.linearTimeMs();
+
+    const double gpu_att_j =
+        opt_.gpu.board_power_w * gpu.attention_ms * 1e-3;
+    cmp.energy_eff_elsa = gpu_att_j / attentionEnergyJ(elsa);
+    cmp.energy_eff_c = gpu_att_j / attentionEnergyJ(cons);
+    cmp.energy_eff_a = gpu_att_j / attentionEnergyJ(aggr);
+    return cmp;
+}
+
+} // namespace dota

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Public API of the DOTA library.
+ *
+ * Umbrella header plus the System facade: configure a hardware fabric
+ * once, then run any paper benchmark on DOTA (F/C/A), on the GPU
+ * baseline, or on the reconstructed ELSA accelerator, and pull the
+ * paper's comparison metrics (attention/end-to-end speedups,
+ * energy-efficiency ratios, latency breakdowns).
+ *
+ * Quick start (see examples/quickstart.cpp):
+ *
+ *   dota::System system;                       // Table 2 fabric
+ *   auto cmp = system.compare(dota::BenchmarkId::Text);
+ *   std::cout << cmp.attention_speedup_c << "x attention speedup\n";
+ *
+ * The algorithmic side (training a Detector jointly with a model) lives
+ * in detect/detector.hpp + detect/pipeline.hpp and is exercised by the
+ * accuracy benches and examples.
+ */
+#pragma once
+
+#include "baselines/elsa_sim.hpp"
+#include "baselines/gpu_model.hpp"
+#include "common/table.hpp"
+#include "detect/detector.hpp"
+#include "detect/a3_detector.hpp"
+#include "detect/elsa_detector.hpp"
+#include "detect/metrics.hpp"
+#include "detect/oracle_detector.hpp"
+#include "detect/static_pattern.hpp"
+#include "detect/token_pruning.hpp"
+#include "detect/pipeline.hpp"
+#include "nn/decode.hpp"
+#include "nn/serialize.hpp"
+#include "sched/dataflow.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/fleet.hpp"
+#include "sim/pe_model.hpp"
+#include "sim/trace.hpp"
+#include "tensor/linalg.hpp"
+#include "workloads/benchmark.hpp"
+#include "workloads/mask_synth.hpp"
+#include "workloads/synthetic_task.hpp"
+#include "workloads/trainer.hpp"
+
+namespace dota {
+
+/** Facade over the three simulated devices. */
+class System
+{
+  public:
+    /** System-level options. */
+    struct Options
+    {
+        /**
+         * Scale the DOTA/ELSA fabrics to GPU-comparable peak throughput
+         * (12 TOPS, Section 5.1). Leave false for Table 2 scale.
+         */
+        bool scale_for_gpu = true;
+        SimOptions sim;
+        GpuConfig gpu = GpuConfig::v100();
+        ElsaConfig elsa = ElsaConfig::iscaDefault();
+        EnergyModel energy = EnergyModel::tsmc22();
+    };
+
+    System();
+    explicit System(Options opt);
+
+    /** Run @p id on the DOTA accelerator in @p mode. */
+    RunReport run(BenchmarkId id, DotaMode mode) const;
+
+    /** Run the dense GPU baseline. */
+    GpuReport runGpu(BenchmarkId id) const;
+
+    /** Run the reconstructed ELSA accelerator (attention block only). */
+    RunReport runElsa(BenchmarkId id) const;
+
+    /** The paper's headline comparison numbers for one benchmark. */
+    struct Comparison
+    {
+        std::string benchmark;
+        // Figure 12(a): attention-block speedup over the GPU.
+        double attention_speedup_elsa = 0.0;
+        double attention_speedup_c = 0.0;
+        double attention_speedup_a = 0.0;
+        // Figure 12(b): end-to-end speedup over the GPU + upper bound.
+        double e2e_speedup_c = 0.0;
+        double e2e_speedup_a = 0.0;
+        double e2e_upper_bound = 0.0;
+        // Figure 13: attention energy-efficiency over the GPU.
+        double energy_eff_elsa = 0.0;
+        double energy_eff_c = 0.0;
+        double energy_eff_a = 0.0;
+    };
+
+    Comparison compare(BenchmarkId id) const;
+
+    const DotaAccelerator &accelerator() const { return dota_; }
+    const ElsaAccelerator &elsa() const { return elsa_; }
+    const Options &options() const { return opt_; }
+
+  private:
+    Options opt_;
+    DotaAccelerator dota_;
+    ElsaAccelerator elsa_;
+};
+
+} // namespace dota

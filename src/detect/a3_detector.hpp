@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A^3-style approximation baseline (Ham et al., HPCA'20).
+ *
+ * A^3 estimates attention scores with a *greedy candidate search over
+ * sorted key dimensions*: for each feature dimension, keys are pre-sorted
+ * by their component value; for a given query, the search walks the
+ * largest positive products first (largest key component for positive
+ * query components, smallest for negative) and accumulates partial
+ * scores for a bounded number of iterations. Keys touched often / with
+ * large partial sums become candidates. The paper (Section 6.2) notes
+ * the sort is preprocessing that must happen outside the accelerator —
+ * this model charges that cost in the performance comparison; here we
+ * reproduce the algorithmic quality side.
+ */
+#pragma once
+
+#include "nn/attention_hook.hpp"
+#include "tensor/topk.hpp"
+
+namespace dota {
+
+/** A^3 approximation configuration. */
+struct A3Config
+{
+    double retention = 0.1; ///< per-row keep fraction after scoring
+    size_t iterations = 16; ///< greedy walk steps per dimension
+};
+
+/** Greedy sorted-dimension candidate search. */
+class A3Detector : public AttentionHook
+{
+  public:
+    explicit A3Detector(A3Config cfg) : cfg_(cfg) {}
+
+    void
+    beginLayer(size_t, const Matrix &) override
+    {}
+
+    void observeQK(size_t layer, size_t head, const Matrix &q,
+                   const Matrix &k) override;
+
+    Matrix selectMask(size_t layer, size_t head, bool causal) override;
+
+    void
+    observeScores(size_t, size_t, const Matrix &) override
+    {}
+
+    Matrix
+    scoreGradient(size_t, size_t) override
+    {
+        return {};
+    }
+
+    /** Partial-score estimate of the pending head (for tests). */
+    const Matrix &lastEstimate() const { return est_; }
+
+    A3Config &config() { return cfg_; }
+
+  private:
+    A3Config cfg_;
+    Matrix est_;
+};
+
+} // namespace dota

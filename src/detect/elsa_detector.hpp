@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reconstruction of ELSA's approximation scheme (Ham et al., ISCA'21) as
+ * an AttentionHook, used as the paper's detection-quality baseline.
+ *
+ * ELSA estimates the angle between each query and key with sign random
+ * projections: both vectors are hashed onto m hyperplanes, and the
+ * Hamming distance h between the hashes estimates the angle
+ * theta ~ pi * h / m, so the score estimate is |q||k| cos(theta).
+ * Unlike DOTA's detector it is training-free — which is exactly why its
+ * detection quality degrades on long sequences (Section 2.3 / 6.2).
+ */
+#pragma once
+
+#include "nn/attention_hook.hpp"
+#include "tensor/random_projection.hpp"
+#include "tensor/topk.hpp"
+
+namespace dota {
+
+/** ELSA detection-baseline configuration (hook side). */
+struct ElsaDetectorConfig
+{
+    size_t hash_bits = 16; ///< hyperplanes per head
+    double retention = 0.2;///< per-row keep fraction (paper: 20%)
+    bool use_norms = true; ///< scale cos estimate by |q||k| (full ELSA)
+    uint64_t seed = 23;
+};
+
+/** Sign-random-projection detection baseline. */
+class ElsaDetector : public AttentionHook
+{
+  public:
+    explicit ElsaDetector(ElsaDetectorConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+    void
+    beginLayer(size_t layer, const Matrix &x) override
+    {
+        (void)layer;
+        (void)x; // ELSA works on projected Q/K, delivered via observeQK.
+    }
+
+    void observeQK(size_t layer, size_t head, const Matrix &q,
+                   const Matrix &k) override;
+
+    Matrix selectMask(size_t layer, size_t head, bool causal) override;
+
+    void
+    observeScores(size_t, size_t, const Matrix &) override
+    {}
+
+    Matrix
+    scoreGradient(size_t, size_t) override
+    {
+        return {}; // training-free
+    }
+
+    /** Estimated score matrix of the pending head (for tests/metrics). */
+    const Matrix &lastEstimate() const { return est_; }
+
+    ElsaDetectorConfig &config() { return cfg_; }
+
+  private:
+    ElsaDetectorConfig cfg_;
+    Rng rng_;
+    Matrix est_; ///< estimate for the head observed most recently
+};
+
+} // namespace dota

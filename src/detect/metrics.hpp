@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Detection-quality metrics: how well a hook's selected masks cover the
+ * truly strong attention connections of a model.
+ */
+#pragma once
+
+#include "nn/attention_hook.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/sparse_mask.hpp"
+#include "workloads/synthetic_task.hpp"
+
+namespace dota {
+
+/** Aggregate detection quality over samples, layers, and heads. */
+struct DetectionQuality
+{
+    double recall = 0.0;      ///< mean fraction of true top-k recovered
+    double mass_recall = 0.0; ///< mean softmax probability mass retained
+    double density = 0.0;     ///< mean mask density actually selected
+};
+
+/**
+ * Run @p samples sequences of @p task through @p model with @p hook
+ * installed and measure how much of the true row-wise top-k (at
+ * @p retention) the selected masks recover. The hook is uninstalled
+ * afterwards.
+ */
+DetectionQuality evaluateDetection(TransformerClassifier &model,
+                                   const SyntheticTask &task,
+                                   AttentionHook &hook, size_t samples,
+                                   double retention,
+                                   uint64_t seed = 20240202);
+
+/**
+ * Harvest the per-head masks selected during the most recent forward of
+ * @p model as SparseMasks (layer-major, head-minor order). Dense heads
+ * yield full masks.
+ */
+std::vector<SparseMask> harvestMasks(TransformerClassifier &model);
+
+} // namespace dota

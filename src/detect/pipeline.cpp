@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Implementation of the training recipes.
+ */
+#include "detect/pipeline.hpp"
+
+namespace dota {
+
+namespace {
+
+/** Adam over detector parameters only. */
+Adam
+detectorOptimizer(DotaDetector &detector, double lr)
+{
+    std::vector<Parameter *> params;
+    detector.collectParams(params);
+    AdamConfig cfg;
+    cfg.lr = lr;
+    return Adam(std::move(params), cfg);
+}
+
+} // namespace
+
+double
+warmupDetector(TransformerClassifier &model, const SyntheticTask &task,
+               DotaDetector &detector, size_t steps, size_t batch,
+               double lr, uint64_t seed)
+{
+    const bool saved_apply = detector.config().apply_mask;
+    const bool saved_train = detector.config().train;
+    detector.config().apply_mask = false;
+    detector.config().train = true;
+    model.setHook(&detector);
+
+    Adam opt = detectorOptimizer(detector, lr);
+    Rng rng(seed);
+    double last = 0.0;
+    for (size_t step = 0; step < steps; ++step) {
+        opt.zeroGrad();
+        detector.consumeMseLoss();
+        for (size_t b = 0; b < batch; ++b)
+            model.forward(task.sample(rng).features); // grads at forward
+        opt.step();
+        last = detector.consumeMseLoss();
+    }
+
+    detector.config().apply_mask = saved_apply;
+    detector.config().train = saved_train;
+    model.setHook(nullptr);
+    return last;
+}
+
+double
+warmupDetectorLM(CausalLM &model, const SyntheticGrammar &grammar,
+                 DotaDetector &detector, size_t steps, size_t batch,
+                 double lr, uint64_t seed)
+{
+    const bool saved_apply = detector.config().apply_mask;
+    const bool saved_train = detector.config().train;
+    detector.config().apply_mask = false;
+    detector.config().train = true;
+    model.setHook(&detector);
+
+    Adam opt = detectorOptimizer(detector, lr);
+    Rng rng(seed);
+    double last = 0.0;
+    for (size_t step = 0; step < steps; ++step) {
+        opt.zeroGrad();
+        detector.consumeMseLoss();
+        for (size_t b = 0; b < batch; ++b)
+            model.forward(grammar.sample(rng));
+        opt.step();
+        last = detector.consumeMseLoss();
+    }
+
+    detector.config().apply_mask = saved_apply;
+    detector.config().train = saved_train;
+    model.setHook(nullptr);
+    return last;
+}
+
+float
+calibrateThreshold(TransformerClassifier &model, const SyntheticTask &task,
+                   DotaDetector &detector, double retention,
+                   size_t samples, uint64_t seed)
+{
+    const bool saved_apply = detector.config().apply_mask;
+    const bool saved_train = detector.config().train;
+    detector.config().apply_mask = false;
+    detector.config().train = false;
+    model.setHook(&detector);
+
+    // Pool estimated scores across probe forwards, layers and heads.
+    Rng rng(seed);
+    std::vector<float> pool;
+    const TransformerConfig &cfg = model.config();
+    for (size_t s = 0; s < samples; ++s) {
+        model.forward(task.sample(rng).features);
+        for (size_t l = 0; l < cfg.layers; ++l) {
+            for (size_t h = 0; h < cfg.heads; ++h) {
+                const Matrix &est = detector.lastEstimate(l, h);
+                pool.insert(pool.end(), est.data(),
+                            est.data() + est.size());
+            }
+        }
+    }
+    model.setHook(nullptr);
+    DOTA_ASSERT(!pool.empty(), "no estimates pooled for calibration");
+
+    const size_t pooled = pool.size();
+    Matrix flat(1, pooled, std::move(pool));
+    const float threshold = thresholdForRetention(flat, retention);
+
+    detector.config().apply_mask = saved_apply;
+    detector.config().train = saved_train;
+    detector.config().use_threshold = true;
+    detector.config().threshold = threshold;
+    return threshold;
+}
+
+PipelineResult
+runPipeline(TransformerClassifier &model, const SyntheticTask &task,
+            DotaDetector &detector, const PipelineConfig &cfg)
+{
+    PipelineResult res;
+
+    // Phase 1: dense pre-training.
+    ClassifierTrainer pre(model, task, cfg.pretrain);
+    pre.train();
+    res.dense = pre.evaluate(200);
+
+    // Phase 2: detector warmup against the frozen model.
+    warmupDetector(model, task, detector, cfg.warmup_steps,
+                   cfg.warmup_batch, cfg.warmup_lr);
+
+    // Phase 3: joint adaptation with omission enabled.
+    detector.config().apply_mask = true;
+    detector.config().train = true;
+    model.setHook(&detector);
+    ClassifierTrainer joint(model, task, cfg.adapt);
+    std::vector<Parameter *> det_params;
+    detector.collectParams(det_params);
+    joint.addExtraParams(det_params);
+    joint.train();
+    res.detector_mse = detector.consumeMseLoss();
+
+    // Inference configuration: mask on, training off, hook installed.
+    detector.config().train = false;
+    res.sparse = joint.evaluate(200);
+    return res;
+}
+
+PipelineResult
+runPipelineLM(CausalLM &model, const SyntheticGrammar &grammar,
+              DotaDetector &detector, const PipelineConfig &cfg)
+{
+    PipelineResult res;
+
+    LMTrainer pre(model, grammar, cfg.pretrain);
+    pre.train();
+    res.dense = pre.evaluate(50);
+
+    warmupDetectorLM(model, grammar, detector, cfg.warmup_steps,
+                     cfg.warmup_batch, cfg.warmup_lr);
+
+    detector.config().apply_mask = true;
+    detector.config().train = true;
+    model.setHook(&detector);
+    LMTrainer joint(model, grammar, cfg.adapt);
+    std::vector<Parameter *> det_params;
+    detector.collectParams(det_params);
+    joint.addExtraParams(det_params);
+    joint.train();
+    res.detector_mse = detector.consumeMseLoss();
+
+    detector.config().train = false;
+    res.sparse = joint.evaluate(50);
+    return res;
+}
+
+} // namespace dota

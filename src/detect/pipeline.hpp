@@ -1,0 +1,86 @@
+/**
+ * @file
+ * End-to-end training recipes for DOTA models (the paper's software
+ * experiment methodology, Section 5.1): pre-train a dense baseline, warm
+ * up the detector against the frozen model's attention scores, then
+ * jointly optimize model + detector with omission enabled ("model
+ * adaptation", Section 3.2).
+ */
+#pragma once
+
+#include <memory>
+
+#include "detect/detector.hpp"
+#include "workloads/trainer.hpp"
+
+namespace dota {
+
+/** Knobs of the three-phase recipe. */
+struct PipelineConfig
+{
+    TrainConfig pretrain;       ///< dense pre-training
+    size_t warmup_steps = 60;   ///< detector-only regression steps
+    size_t warmup_batch = 4;
+    double warmup_lr = 5e-3;
+    TrainConfig adapt;          ///< joint adaptation (mask enabled)
+
+    PipelineConfig()
+    {
+        pretrain.steps = 150;
+        adapt.steps = 150;
+        // A gentler rate keeps the adaptation stable while masks evolve.
+        adapt.adam.lr = 3e-4;
+    }
+};
+
+/** Outcome of the full recipe. */
+struct PipelineResult
+{
+    EvalResult dense;   ///< dense model after pre-training
+    EvalResult sparse;  ///< adapted model with omission enabled
+    double detector_mse = 0.0; ///< estimation loss at the end of adaptation
+};
+
+/**
+ * Train only the detector to regress the frozen model's attention scores
+ * (masks disabled). Returns the final mean estimation loss.
+ */
+double warmupDetector(TransformerClassifier &model,
+                      const SyntheticTask &task, DotaDetector &detector,
+                      size_t steps, size_t batch, double lr,
+                      uint64_t seed = 777);
+
+/** LM variant of the warmup. */
+double warmupDetectorLM(CausalLM &model, const SyntheticGrammar &grammar,
+                        DotaDetector &detector, size_t steps, size_t batch,
+                        double lr, uint64_t seed = 777);
+
+/**
+ * Run the full three-phase recipe on a classifier task. On return the
+ * model has the detector installed with omission enabled and training
+ * disabled (inference configuration).
+ */
+PipelineResult runPipeline(TransformerClassifier &model,
+                           const SyntheticTask &task,
+                           DotaDetector &detector,
+                           const PipelineConfig &cfg);
+
+/** LM variant; EvalResult.metric is perplexity. */
+PipelineResult runPipelineLM(CausalLM &model,
+                             const SyntheticGrammar &grammar,
+                             DotaDetector &detector,
+                             const PipelineConfig &cfg);
+
+/**
+ * Calibrate the hardware comparator's preset threshold (Section 3.1:
+ * "tuning from the validation set"): run @p samples probe forwards with
+ * masks disabled and pick the estimated-score threshold whose density
+ * matches @p retention across all layers/heads. The detector is left in
+ * threshold mode with the calibrated value installed.
+ */
+float calibrateThreshold(TransformerClassifier &model,
+                         const SyntheticTask &task, DotaDetector &detector,
+                         double retention, size_t samples = 4,
+                         uint64_t seed = 555);
+
+} // namespace dota

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Static sparse-attention baseline (Longformer/BigBird-style): a fixed
+ * local window around the diagonal plus a set of global tokens that
+ * everyone attends to (and that attend to everyone).
+ *
+ * The paper's Section 6.1 argues that static patterns "lack the
+ * capability of capturing dynamic sparse attentions" — this hook exists
+ * so that claim can be measured: at matched retention, the static
+ * pattern misses the input-dependent strong connections a trained
+ * detector finds.
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "nn/attention_hook.hpp"
+
+namespace dota {
+
+/** Static window + global-token pattern configuration. */
+struct StaticPatternConfig
+{
+    double retention = 0.1;  ///< total density target
+    double global_fraction = 0.25; ///< share of the budget on globals
+    /**
+     * Global token placement: evenly spaced across the sequence
+     * (sentence-leading tokens in Longformer correspond to position 0;
+     * even spacing is the stronger variant).
+     */
+};
+
+/** Input-independent window+global mask generator. */
+class StaticPatternDetector : public AttentionHook
+{
+  public:
+    explicit StaticPatternDetector(StaticPatternConfig cfg) : cfg_(cfg) {}
+
+    void
+    beginLayer(size_t, const Matrix &x) override
+    {
+        n_ = x.rows();
+    }
+
+    Matrix selectMask(size_t layer, size_t head, bool causal) override;
+
+    void
+    observeScores(size_t, size_t, const Matrix &) override
+    {}
+
+    Matrix
+    scoreGradient(size_t, size_t) override
+    {
+        return {};
+    }
+
+    StaticPatternConfig &config() { return cfg_; }
+
+  private:
+    StaticPatternConfig cfg_;
+    size_t n_ = 0;
+};
+
+} // namespace dota

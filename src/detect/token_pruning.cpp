@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the token-pruning baseline.
+ */
+#include "detect/token_pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+void
+TokenPruningDetector::observeQK(size_t, size_t, const Matrix &q,
+                                const Matrix &k)
+{
+    scores_ = matmulBT(q, k);
+}
+
+Matrix
+TokenPruningDetector::selectMask(size_t, size_t, bool causal)
+{
+    DOTA_ASSERT(!scores_.empty(), "selectMask before observeQK");
+    const size_t n = scores_.rows();
+    // Match connection density: keeping t tokens gives ~t^2 connections.
+    const size_t keep_tokens = std::min<size_t>(
+        n, std::max<size_t>(
+               2, static_cast<size_t>(std::llround(
+                      static_cast<double>(n) *
+                      std::sqrt(cfg_.retention)))));
+
+    // Cumulative attention received per token (column softmax mass).
+    const Matrix probs = rowSoftmax(scores_);
+    std::vector<double> importance(n, 0.0);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            importance[c] += probs(r, c);
+
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&importance](uint32_t a, uint32_t b) {
+                  return importance[a] > importance[b];
+              });
+    kept_.assign(order.begin(),
+                 order.begin() + static_cast<long>(keep_tokens));
+    std::sort(kept_.begin(), kept_.end());
+
+    // Structured mask: dense among kept tokens; pruned tokens keep only
+    // their diagonal so every row still has an output.
+    Matrix mask(n, n);
+    for (uint32_t r : kept_)
+        for (uint32_t c : kept_)
+            mask(r, c) = 1.0f;
+    for (size_t r = 0; r < n; ++r)
+        mask(r, r) = 1.0f;
+    if (causal)
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = r + 1; c < n; ++c)
+                mask(r, c) = 0.0f;
+    return mask;
+}
+
+} // namespace dota

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SpAtten-style cascade token pruning baseline (Wang et al., HPCA'21).
+ *
+ * SpAtten removes whole *tokens* (rows and columns of the attention
+ * matrix) ranked by their cumulative attention importance — structured
+ * sparsity rather than per-connection selection. The paper's Section 6.2
+ * argues this "is not flexible enough to capture the irregularly
+ * distributed attention connections"; this hook lets that be measured at
+ * matched retention.
+ *
+ * Importance here is the column mass of the true scores (cumulative
+ * attention received), mimicking SpAtten's cascade criterion with the
+ * information available at this layer.
+ */
+#pragma once
+
+#include "nn/attention_hook.hpp"
+#include "tensor/ops.hpp"
+
+namespace dota {
+
+/** Token-pruning configuration. */
+struct TokenPruningConfig
+{
+    double retention = 0.1; ///< matched *connection* density target:
+                            ///< keeping t of n tokens yields density
+                            ///< ~t^2/n^2, so t = n * sqrt(retention)
+};
+
+/** Structured (whole-token) pruning baseline. */
+class TokenPruningDetector : public AttentionHook
+{
+  public:
+    explicit TokenPruningDetector(TokenPruningConfig cfg) : cfg_(cfg) {}
+
+    void
+    beginLayer(size_t, const Matrix &) override
+    {}
+
+    void observeQK(size_t layer, size_t head, const Matrix &q,
+                   const Matrix &k) override;
+
+    Matrix selectMask(size_t layer, size_t head, bool causal) override;
+
+    void
+    observeScores(size_t, size_t, const Matrix &) override
+    {}
+
+    Matrix
+    scoreGradient(size_t, size_t) override
+    {
+        return {};
+    }
+
+    TokenPruningConfig &config() { return cfg_; }
+
+    /** Tokens kept in the last selection (for tests). */
+    const std::vector<uint32_t> &keptTokens() const { return kept_; }
+
+  private:
+    TokenPruningConfig cfg_;
+    Matrix scores_;
+    std::vector<uint32_t> kept_;
+};
+
+} // namespace dota

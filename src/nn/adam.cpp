@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the Adam optimizer.
+ */
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace dota {
+
+Adam::Adam(std::vector<Parameter *> params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Parameter *p : params_) {
+        m_.emplace_back(p->value.rows(), p->value.cols());
+        v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    // Global norm for clipping.
+    double norm_sq = 0.0;
+    for (Parameter *p : params_)
+        for (size_t i = 0; i < p->grad.size(); ++i)
+            norm_sq += static_cast<double>(p->grad.data()[i]) *
+                       p->grad.data()[i];
+    last_grad_norm_ = std::sqrt(norm_sq);
+    double scale = 1.0;
+    if (cfg_.clip_norm > 0.0 && last_grad_norm_ > cfg_.clip_norm)
+        scale = cfg_.clip_norm / (last_grad_norm_ + 1e-12);
+
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        Parameter *p = params_[pi];
+        float *val = p->value.data();
+        const float *grad = p->grad.data();
+        float *m = m_[pi].data();
+        float *v = v_[pi].data();
+        for (size_t i = 0; i < p->value.size(); ++i) {
+            const double g = static_cast<double>(grad[i]) * scale;
+            m[i] = static_cast<float>(cfg_.beta1 * m[i] +
+                                      (1.0 - cfg_.beta1) * g);
+            v[i] = static_cast<float>(cfg_.beta2 * v[i] +
+                                      (1.0 - cfg_.beta2) * g * g);
+            const double mhat = m[i] / bc1;
+            const double vhat = v[i] / bc2;
+            double update = cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+            if (cfg_.weight_decay > 0.0)
+                update += cfg_.lr * cfg_.weight_decay * val[i];
+            val[i] -= static_cast<float>(update);
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Parameter *p : params_)
+        p->zeroGrad();
+}
+
+} // namespace dota

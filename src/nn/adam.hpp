@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Adam optimizer over a flat list of Parameters.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace dota {
+
+/** Adam configuration. */
+struct AdamConfig
+{
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0; ///< decoupled (AdamW-style)
+    double clip_norm = 1.0;    ///< global grad-norm clip; <= 0 disables
+};
+
+/** Adam with optional decoupled weight decay and global-norm clipping. */
+class Adam
+{
+  public:
+    Adam(std::vector<Parameter *> params, AdamConfig cfg = {});
+
+    /** Apply one update using the accumulated gradients. */
+    void step();
+
+    /** Zero the gradients of every registered parameter. */
+    void zeroGrad();
+
+    /** Global gradient L2 norm before clipping (of the last step). */
+    double lastGradNorm() const { return last_grad_norm_; }
+
+    AdamConfig &config() { return cfg_; }
+
+  private:
+    std::vector<Parameter *> params_;
+    std::vector<Matrix> m_;
+    std::vector<Matrix> v_;
+    AdamConfig cfg_;
+    uint64_t t_ = 0;
+    double last_grad_norm_ = 0.0;
+};
+
+} // namespace dota

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Implementation of multi-head self-attention.
+ */
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+namespace dota {
+
+MultiHeadAttention::MultiHeadAttention(const std::string &name, size_t layer,
+                                       size_t dim, size_t heads, Rng &rng,
+                                       bool causal)
+    : layer_(layer), dim_(dim), heads_(heads), head_dim_(dim / heads),
+      causal_(causal), wq_(name + ".wq", Matrix::xavier(dim, dim, rng)),
+      wk_(name + ".wk", Matrix::xavier(dim, dim, rng)),
+      wv_(name + ".wv", Matrix::xavier(dim, dim, rng)),
+      wo_(name + ".wo", Matrix::xavier(dim, dim, rng))
+{
+    DOTA_ASSERT(dim % heads == 0, "dim {} not divisible by heads {}", dim,
+                heads);
+}
+
+Matrix
+MultiHeadAttention::headSlice(const Matrix &m, size_t h) const
+{
+    Matrix out(m.rows(), head_dim_);
+    const size_t off = h * head_dim_;
+    for (size_t i = 0; i < m.rows(); ++i)
+        std::copy(m.row(i) + off, m.row(i) + off + head_dim_, out.row(i));
+    return out;
+}
+
+void
+MultiHeadAttention::addHeadSlice(Matrix &dst, const Matrix &src,
+                                 size_t h) const
+{
+    const size_t off = h * head_dim_;
+    for (size_t i = 0; i < src.rows(); ++i)
+        for (size_t j = 0; j < head_dim_; ++j)
+            dst(i, off + j) += src(i, j);
+}
+
+Matrix
+MultiHeadAttention::causalMask(size_t n) const
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j <= i; ++j)
+            m(i, j) = 1.0f;
+    return m;
+}
+
+Matrix
+MultiHeadAttention::forward(const Matrix &x)
+{
+    const size_t n = x.rows();
+    x_ = x;
+    q_ = matmul(x, wq_.value);
+    k_ = matmul(x, wk_.value);
+    v_ = matmul(x, wv_.value);
+
+    if (hook_)
+        hook_->beginLayer(layer_, x);
+
+    s_raw_.assign(heads_, Matrix());
+    a_.assign(heads_, Matrix());
+    masks_.assign(heads_, Matrix());
+    z_ = Matrix(n, dim_);
+
+    const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+    for (size_t h = 0; h < heads_; ++h) {
+        const Matrix qh = headSlice(q_, h);
+        const Matrix kh = headSlice(k_, h);
+        const Matrix vh = headSlice(v_, h);
+
+        // Raw scores S = Q K^T (pre-scaling, matching Eq. 5's target).
+        s_raw_[h] = matmulBT(qh, kh);
+
+        Matrix mask;
+        if (hook_) {
+            hook_->observeQK(layer_, h, qh, kh);
+            mask = hook_->selectMask(layer_, h, causal_);
+        }
+        if (mask.empty() && causal_)
+            mask = causalMask(n);
+        masks_[h] = mask;
+
+        const Matrix scaled = scale(s_raw_[h], inv_sqrt_dk);
+        a_[h] = mask.empty() ? rowSoftmax(scaled)
+                             : rowSoftmaxMasked(scaled, mask);
+
+        if (hook_)
+            hook_->observeScores(layer_, h, s_raw_[h]);
+
+        addHeadSlice(z_, matmul(a_[h], vh), h);
+    }
+    return matmul(z_, wo_.value);
+}
+
+Matrix
+MultiHeadAttention::backward(const Matrix &dy)
+{
+    DOTA_ASSERT(!x_.empty(), "backward before forward");
+    const size_t n = x_.rows();
+    const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+    // out = Z Wo
+    Matrix dwo = matmulAT(z_, dy);
+    for (size_t i = 0; i < dwo.size(); ++i)
+        wo_.grad.data()[i] += dwo.data()[i];
+    const Matrix dz = matmulBT(dy, wo_.value);
+
+    Matrix dq(n, dim_), dk(n, dim_), dv(n, dim_);
+    for (size_t h = 0; h < heads_; ++h) {
+        const Matrix qh = headSlice(q_, h);
+        const Matrix kh = headSlice(k_, h);
+        const Matrix vh = headSlice(v_, h);
+        const Matrix dzh = headSlice(dz, h);
+
+        // Z_h = A_h V_h
+        const Matrix da = matmulBT(dzh, vh);
+        const Matrix dvh = matmulAT(a_[h], dzh);
+
+        // Masked softmax backward: masked entries have A == 0, so the
+        // dense formula already yields zero gradient there.
+        Matrix ds = rowSoftmaxBackward(a_[h], da);
+        ds = scale(ds, inv_sqrt_dk); // through S/sqrt(dk)
+
+        // Joint optimization: add lambda * dL_MSE/dS from the hook.
+        if (hook_) {
+            const Matrix ds_aux = hook_->scoreGradient(layer_, h);
+            if (!ds_aux.empty()) {
+                DOTA_ASSERT(ds_aux.rows() == n && ds_aux.cols() == n,
+                            "hook score gradient has wrong shape");
+                ds = add(ds, ds_aux);
+            }
+        }
+
+        // S = Q_h K_h^T
+        const Matrix dqh = matmul(ds, kh);
+        const Matrix dkh = matmulAT(ds, qh);
+
+        addHeadSlice(dq, dqh, h);
+        addHeadSlice(dk, dkh, h);
+        addHeadSlice(dv, dvh, h);
+    }
+
+    // Q = X Wq etc.
+    Matrix dwq = matmulAT(x_, dq);
+    Matrix dwk = matmulAT(x_, dk);
+    Matrix dwv = matmulAT(x_, dv);
+    for (size_t i = 0; i < dwq.size(); ++i) {
+        wq_.grad.data()[i] += dwq.data()[i];
+        wk_.grad.data()[i] += dwk.data()[i];
+        wv_.grad.data()[i] += dwv.data()[i];
+    }
+
+    Matrix dx = matmulBT(dq, wq_.value);
+    dx = add(dx, matmulBT(dk, wk_.value));
+    dx = add(dx, matmulBT(dv, wv_.value));
+    return dx;
+}
+
+void
+MultiHeadAttention::collectParams(std::vector<Parameter *> &out)
+{
+    out.push_back(&wq_);
+    out.push_back(&wk_);
+    out.push_back(&wv_);
+    out.push_back(&wo_);
+}
+
+} // namespace dota

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multi-head self-attention with detector interception.
+ *
+ * Implements Eq. 1-3 of the paper: Q,K,V = X W_Q, X W_K, X W_V;
+ * A = SoftMax(QK^T / sqrt(d_k)) (optionally masked by a hook and/or a
+ * causal constraint); Z = A V; out = Z W_O. Backward is hand-derived and
+ * verified by finite differences in the test suite.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/attention_hook.hpp"
+#include "nn/param.hpp"
+#include "tensor/ops.hpp"
+
+namespace dota {
+
+/** Multi-head self-attention layer. */
+class MultiHeadAttention : public Module
+{
+  public:
+    /**
+     * @param name    parameter prefix
+     * @param layer   layer index reported to the hook
+     * @param dim     model dimension d
+     * @param heads   number of attention heads (must divide d)
+     * @param rng     weight initializer
+     * @param causal  apply autoregressive masking (decoder blocks)
+     */
+    MultiHeadAttention(const std::string &name, size_t layer, size_t dim,
+                       size_t heads, Rng &rng, bool causal = false);
+
+    /** Install (or clear, with nullptr) the attention interceptor. */
+    void setHook(AttentionHook *hook) { hook_ = hook; }
+
+    /** Forward over (n x d); returns (n x d). */
+    Matrix forward(const Matrix &x);
+
+    /** Backward; returns dL/dx. */
+    Matrix backward(const Matrix &dy);
+
+    void collectParams(std::vector<Parameter *> &out) override;
+
+    size_t heads() const { return heads_; }
+    size_t headDim() const { return head_dim_; }
+    bool causal() const { return causal_; }
+
+    /** Attention-probability matrices from the last forward, per head. */
+    const std::vector<Matrix> &lastAttention() const { return a_; }
+
+    /** Raw score matrices S = QK^T from the last forward, per head. */
+    const std::vector<Matrix> &lastScores() const { return s_raw_; }
+
+    /** Masks applied in the last forward (empty matrices when dense). */
+    const std::vector<Matrix> &lastMasks() const { return masks_; }
+
+    /** Weight accessors (used by the incremental decode path). */
+    const Matrix &wq() const { return wq_.value; }
+    const Matrix &wk() const { return wk_.value; }
+    const Matrix &wv() const { return wv_.value; }
+    const Matrix &wo() const { return wo_.value; }
+
+  private:
+    Matrix headSlice(const Matrix &m, size_t h) const;
+    void addHeadSlice(Matrix &dst, const Matrix &src, size_t h) const;
+    Matrix causalMask(size_t n) const;
+
+    size_t layer_;
+    size_t dim_;
+    size_t heads_;
+    size_t head_dim_;
+    bool causal_;
+    Parameter wq_, wk_, wv_, wo_;
+    AttentionHook *hook_ = nullptr;
+
+    // Cached activations for backward.
+    Matrix x_, q_, k_, v_, z_;
+    std::vector<Matrix> s_raw_; ///< per-head raw scores QK^T
+    std::vector<Matrix> a_;     ///< per-head attention probabilities
+    std::vector<Matrix> masks_; ///< per-head keep masks (may be empty)
+};
+
+} // namespace dota

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hook interface through which a Detector intercepts self-attention.
+ *
+ * The multi-head attention layer knows nothing about DOTA's detection
+ * algorithm: it simply asks an installed AttentionHook for a sparsity mask
+ * before computing attention weights, lets the hook observe the true raw
+ * scores S = QK^T (so the hook can maintain its estimation loss), and adds
+ * whatever score-gradient the hook reports into its own backward pass.
+ * That is exactly the structure of the joint optimization in Section 3.2:
+ * L = L_model + lambda * L_MSE, where the lambda * dL_MSE/dS term enters
+ * the model's backward through this interface.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace dota {
+
+/** Interceptor installed into MultiHeadAttention layers. */
+class AttentionHook
+{
+  public:
+    virtual ~AttentionHook() = default;
+
+    /**
+     * Called once per layer forward with the layer input (n x d), before
+     * any head is processed. Detectors compute X*P (and its quantized
+     * form) here so all heads share it.
+     */
+    virtual void beginLayer(size_t layer, const Matrix &x) = 0;
+
+    /**
+     * Observe the projected query/key matrices (n x head_dim) of one head
+     * before mask selection. DOTA's detector ignores this — its estimate
+     * may only use X (Section 3.1) — but the ELSA baseline hashes the
+     * real Q/K here, and the oracle "detector" uses them to compute true
+     * scores. Default: no-op.
+     */
+    virtual void
+    observeQK(size_t layer, size_t head, const Matrix &q, const Matrix &k)
+    {
+        (void)layer;
+        (void)head;
+        (void)q;
+        (void)k;
+    }
+
+    /**
+     * Produce the 0/1 keep-mask (n x n) for one head. Must not look at the
+     * true scores — only at whatever state beginLayer derived from X. An
+     * empty matrix means "no omission" (dense attention).
+     *
+     * @param causal  when true the mask must additionally be lower
+     *                triangular (decoder processing).
+     */
+    virtual Matrix selectMask(size_t layer, size_t head, bool causal) = 0;
+
+    /**
+     * Observe the true raw scores S = QK^T for one head (post-mask
+     * computation). Detectors accumulate L_MSE = ||S - S_est||^2 here.
+     */
+    virtual void observeScores(size_t layer, size_t head,
+                               const Matrix &s_true) = 0;
+
+    /**
+     * Gradient of the hook's auxiliary loss w.r.t. the true raw scores S
+     * of this head (already weighted by lambda), or an empty matrix when
+     * the hook is not training. Consumed by the attention backward.
+     */
+    virtual Matrix scoreGradient(size_t layer, size_t head) = 0;
+};
+
+} // namespace dota

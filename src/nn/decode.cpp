@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Implementation of incremental decoding.
+ */
+#include "nn/decode.hpp"
+
+#include <cmath>
+
+#include "tensor/topk.hpp"
+
+namespace dota {
+
+void
+KvCache::append(const Matrix &k_row, const Matrix &v_row)
+{
+    DOTA_ASSERT(k_row.rows() == 1 && v_row.rows() == 1,
+                "cache rows must be single vectors");
+    if (k.empty()) {
+        k = k_row;
+        v = v_row;
+        return;
+    }
+    Matrix nk(k.rows() + 1, k.cols());
+    std::copy(k.data(), k.data() + k.size(), nk.data());
+    std::copy(k_row.data(), k_row.data() + k_row.size(),
+              nk.row(k.rows()));
+    Matrix nv(v.rows() + 1, v.cols());
+    std::copy(v.data(), v.data() + v.size(), nv.data());
+    std::copy(v_row.data(), v_row.data() + v_row.size(),
+              nv.row(v.rows()));
+    k = std::move(nk);
+    v = std::move(nv);
+}
+
+namespace {
+
+/** Incremental attention for one new token against a cache. */
+Matrix
+attentionStep(MultiHeadAttention &attn, const Matrix &x_row,
+              KvCache &cache, double retention)
+{
+    const size_t dh = attn.headDim();
+    const size_t heads = attn.heads();
+    const Matrix q = matmul(x_row, attn.wq());
+    const Matrix k_new = matmul(x_row, attn.wk());
+    const Matrix v_new = matmul(x_row, attn.wv());
+    cache.append(k_new, v_new);
+
+    const size_t t = cache.length();
+    const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(dh));
+    Matrix z(1, q.cols());
+    for (size_t h = 0; h < heads; ++h) {
+        const size_t off = h * dh;
+        // Scores of the new query against all cached keys of this head.
+        Matrix scores(1, t);
+        for (size_t j = 0; j < t; ++j) {
+            float acc = 0.0f;
+            const float *kr = cache.k.row(j) + off;
+            const float *qr = q.row(0) + off;
+            for (size_t c = 0; c < dh; ++c)
+                acc += qr[c] * kr[c];
+            scores(0, j) = acc * inv_sqrt_dk;
+        }
+        Matrix probs;
+        if (retention < 1.0) {
+            const size_t keep = std::max<size_t>(
+                1, static_cast<size_t>(std::llround(
+                       retention * static_cast<double>(t))));
+            probs = rowSoftmaxMasked(scores, topkMask(scores, keep));
+        } else {
+            probs = rowSoftmax(scores);
+        }
+        for (size_t j = 0; j < t; ++j) {
+            const float w = probs(0, j);
+            if (w == 0.0f)
+                continue;
+            const float *vr = cache.v.row(j) + off;
+            for (size_t c = 0; c < dh; ++c)
+                z(0, off + c) += w * vr[c];
+        }
+    }
+    return matmul(z, attn.wo());
+}
+
+/** One encoder block, incrementally. */
+Matrix
+blockStep(EncoderBlock &blk, const Matrix &x_row, KvCache &cache,
+          double retention)
+{
+    const Matrix a = attentionStep(blk.attention(), x_row, cache,
+                                   retention);
+    Matrix mean, rstd;
+    const Matrix h1 = layerNorm(add(x_row, a), blk.ln1().gamma(),
+                                blk.ln1().beta(), mean, rstd);
+    const Matrix pre = addRowBroadcast(matmul(h1, blk.fc1().weight().value),
+                                       blk.fc1().bias().value);
+    const Matrix hidden =
+        blk.activation() == Activation::ReLU ? relu(pre) : gelu(pre);
+    const Matrix f = addRowBroadcast(
+        matmul(hidden, blk.fc2().weight().value),
+        blk.fc2().bias().value);
+    return layerNorm(add(h1, f), blk.ln2().gamma(), blk.ln2().beta(),
+                     mean, rstd);
+}
+
+} // namespace
+
+Matrix
+decodeStep(CausalLM &model, DecodeState &state, int token,
+           double retention)
+{
+    const TransformerConfig &cfg = model.config();
+    if (state.layers.size() != cfg.layers)
+        state.reset(cfg.layers);
+    DOTA_ASSERT(state.position < cfg.max_seq,
+                "decode position {} exceeds max_seq {}", state.position,
+                cfg.max_seq);
+
+    Matrix h = model.tokenEmbedding().forward({token});
+    for (size_t c = 0; c < cfg.dim; ++c)
+        h(0, c) += model.positionTable()(state.position, c);
+    for (size_t l = 0; l < cfg.layers; ++l)
+        h = blockStep(*model.blocks()[l], h, state.layers[l], retention);
+    ++state.position;
+    return matmul(h, model.lmHead().weight().value);
+}
+
+std::vector<int>
+generate(CausalLM &model, const std::vector<int> &prefix, size_t steps,
+         double retention, double temperature, uint64_t seed)
+{
+    DOTA_ASSERT(!prefix.empty(), "generation needs a non-empty prefix");
+    DecodeState state;
+    state.reset(model.config().layers);
+    Matrix logits;
+    for (int tok : prefix)
+        logits = decodeStep(model, state, tok, retention);
+
+    Rng rng(seed);
+    std::vector<int> out;
+    out.reserve(steps);
+    for (size_t s = 0; s < steps; ++s) {
+        int next;
+        if (temperature <= 0.0) {
+            next = rowArgmax(logits)[0];
+        } else {
+            Matrix scaled = scale(logits,
+                                  static_cast<float>(1.0 / temperature));
+            const Matrix probs = rowSoftmax(scaled);
+            const double u = rng.uniform();
+            double acc = 0.0;
+            next = static_cast<int>(probs.cols()) - 1;
+            for (size_t c = 0; c < probs.cols(); ++c) {
+                acc += probs(0, c);
+                if (u < acc) {
+                    next = static_cast<int>(c);
+                    break;
+                }
+            }
+        }
+        out.push_back(next);
+        if (state.position >= model.config().max_seq)
+            break;
+        logits = decodeStep(model, state, next, retention);
+    }
+    return out;
+}
+
+} // namespace dota

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Incremental (KV-cached) autoregressive decoding — the software
+ * counterpart of the decoder processing in Section 4.4.
+ *
+ * forwardIncremental() processes one new token against cached key/value
+ * matrices, optionally keeping only the strongest `retention` fraction
+ * of past connections (row-balanced top-k, as the hardware comparator
+ * would after detection). The dense incremental path is bit-equivalent
+ * to the last row of the full causal forward, which the test suite
+ * asserts.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/transformer.hpp"
+
+namespace dota {
+
+/** Per-layer key/value cache (rows append per generated token). */
+struct KvCache
+{
+    Matrix k; ///< t x dim
+    Matrix v; ///< t x dim
+
+    size_t length() const { return k.rows(); }
+
+    /** Append one projected row to both caches. */
+    void append(const Matrix &k_row, const Matrix &v_row);
+};
+
+/** Decoding session state for a CausalLM. */
+struct DecodeState
+{
+    std::vector<KvCache> layers;
+    size_t position = 0;
+
+    /** Prepare for a model with @p num_layers layers. */
+    void
+    reset(size_t num_layers)
+    {
+        layers.assign(num_layers, KvCache{});
+        position = 0;
+    }
+};
+
+/**
+ * Feed one token through @p model incrementally; returns the logits row
+ * (1 x vocab). @p retention < 1 keeps only the top fraction of cached
+ * connections per head (1.0 = dense).
+ */
+Matrix decodeStep(CausalLM &model, DecodeState &state, int token,
+                  double retention = 1.0);
+
+/**
+ * Greedy (temperature == 0) or temperature sampling continuation of
+ * @p prefix for @p steps tokens. Returns only the generated tokens.
+ */
+std::vector<int> generate(CausalLM &model, const std::vector<int> &prefix,
+                          size_t steps, double retention = 1.0,
+                          double temperature = 0.0, uint64_t seed = 1);
+
+} // namespace dota

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of the embedding layer.
+ */
+#include "nn/embedding.hpp"
+
+namespace dota {
+
+EmbeddingLayer::EmbeddingLayer(const std::string &name, size_t vocab,
+                               size_t dim, Rng &rng)
+    : table_(name + ".table",
+             Matrix::randomNormal(vocab, dim, rng, 0.0f, 0.02f))
+{}
+
+Matrix
+EmbeddingLayer::forward(const std::vector<int> &ids)
+{
+    cached_ids_ = ids;
+    Matrix out(ids.size(), table_.value.cols());
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const auto id = static_cast<size_t>(ids[i]);
+        DOTA_ASSERT(id < table_.value.rows(), "token id {} out of vocab {}",
+                    ids[i], table_.value.rows());
+        std::copy(table_.value.row(id),
+                  table_.value.row(id) + table_.value.cols(), out.row(i));
+    }
+    return out;
+}
+
+void
+EmbeddingLayer::backward(const Matrix &dy)
+{
+    DOTA_ASSERT(dy.rows() == cached_ids_.size(),
+                "embedding backward shape mismatch");
+    for (size_t i = 0; i < cached_ids_.size(); ++i) {
+        const auto id = static_cast<size_t>(cached_ids_[i]);
+        for (size_t j = 0; j < dy.cols(); ++j)
+            table_.grad(id, j) += dy(i, j);
+    }
+}
+
+void
+EmbeddingLayer::collectParams(std::vector<Parameter *> &out)
+{
+    out.push_back(&table_);
+}
+
+} // namespace dota

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Token and learned positional embeddings for the causal LM model.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace dota {
+
+/** Lookup-table embedding with scatter-add backward. */
+class EmbeddingLayer : public Module
+{
+  public:
+    EmbeddingLayer(const std::string &name, size_t vocab, size_t dim,
+                   Rng &rng);
+
+    /** Gather rows for @p ids; output is (ids.size() x dim). */
+    Matrix forward(const std::vector<int> &ids);
+
+    /** Scatter-add @p dy back into the table gradient. */
+    void backward(const Matrix &dy);
+
+    void collectParams(std::vector<Parameter *> &out) override;
+
+    size_t vocab() const { return table_.value.rows(); }
+    Parameter &table() { return table_; }
+
+  private:
+    Parameter table_; ///< vocab x dim
+    std::vector<int> cached_ids_;
+};
+
+} // namespace dota

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Implementation of the encoder block.
+ */
+#include "nn/encoder.hpp"
+
+namespace dota {
+
+EncoderBlock::EncoderBlock(const std::string &name, size_t layer, size_t dim,
+                           size_t heads, size_t ffn_dim, Rng &rng,
+                           Activation act, bool causal)
+    : attn_(name + ".attn", layer, dim, heads, rng, causal),
+      ln1_(name + ".ln1", dim), fc1_(name + ".fc1", dim, ffn_dim, rng),
+      fc2_(name + ".fc2", ffn_dim, dim, rng), ln2_(name + ".ln2", dim),
+      act_(act)
+{}
+
+Matrix
+EncoderBlock::forward(const Matrix &x)
+{
+    // Multi-Head Attention stage with residual + LayerNorm.
+    const Matrix a = attn_.forward(x);
+    const Matrix h1 = ln1_.forward(add(x, a));
+
+    // FFN stage with residual + LayerNorm.
+    ffn_pre_act_ = fc1_.forward(h1);
+    const Matrix hidden =
+        act_ == Activation::ReLU ? relu(ffn_pre_act_) : gelu(ffn_pre_act_);
+    const Matrix f = fc2_.forward(hidden);
+    return ln2_.forward(add(h1, f));
+}
+
+Matrix
+EncoderBlock::backward(const Matrix &dy)
+{
+    // ln2(h1 + f)
+    const Matrix d_sum2 = ln2_.backward(dy);
+
+    // f = fc2(act(fc1(h1)))
+    const Matrix d_hidden = fc2_.backward(d_sum2);
+    const Matrix d_pre = act_ == Activation::ReLU
+                             ? reluBackward(ffn_pre_act_, d_hidden)
+                             : geluBackward(ffn_pre_act_, d_hidden);
+    Matrix dh1 = fc1_.backward(d_pre);
+    dh1 = add(dh1, d_sum2); // residual path
+
+    // ln1(x + a)
+    const Matrix d_sum1 = ln1_.backward(dh1);
+    Matrix dx = attn_.backward(d_sum1);
+    dx = add(dx, d_sum1); // residual path
+    return dx;
+}
+
+void
+EncoderBlock::collectParams(std::vector<Parameter *> &out)
+{
+    attn_.collectParams(out);
+    ln1_.collectParams(out);
+    fc1_.collectParams(out);
+    fc2_.collectParams(out);
+    ln2_.collectParams(out);
+}
+
+} // namespace dota

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Transformer encoder block: the three-stage structure of Figure 2 /
+ * Section 4.1 (Linear Transformation + Multi-Head Attention, then FFN),
+ * with residual connections and layer normalization.
+ */
+#pragma once
+
+#include <memory>
+
+#include "nn/attention.hpp"
+#include "nn/layer_norm.hpp"
+#include "nn/linear.hpp"
+
+namespace dota {
+
+/** Activation used inside the FFN. */
+enum class Activation { ReLU, GELU };
+
+/** One encoder (or, with causal attention, decoder) block. */
+class EncoderBlock : public Module
+{
+  public:
+    /**
+     * @param name      parameter prefix
+     * @param layer     layer index (reported to the attention hook)
+     * @param dim       model dimension d
+     * @param heads     attention head count
+     * @param ffn_dim   hidden dimension of the FFN (paper uses 4d)
+     * @param rng       weight initializer
+     * @param act       FFN activation
+     * @param causal    autoregressive attention (decoder processing)
+     */
+    EncoderBlock(const std::string &name, size_t layer, size_t dim,
+                 size_t heads, size_t ffn_dim, Rng &rng,
+                 Activation act = Activation::GELU, bool causal = false);
+
+    Matrix forward(const Matrix &x);
+    Matrix backward(const Matrix &dy);
+
+    void collectParams(std::vector<Parameter *> &out) override;
+
+    MultiHeadAttention &attention() { return attn_; }
+
+    /** Sub-layer accessors (used by the incremental decode path). */
+    LayerNormLayer &ln1() { return ln1_; }
+    LayerNormLayer &ln2() { return ln2_; }
+    LinearLayer &fc1() { return fc1_; }
+    LinearLayer &fc2() { return fc2_; }
+    Activation activation() const { return act_; }
+
+  private:
+    MultiHeadAttention attn_;
+    LayerNormLayer ln1_;
+    LinearLayer fc1_;
+    LinearLayer fc2_;
+    LayerNormLayer ln2_;
+    Activation act_;
+
+    Matrix ffn_pre_act_; ///< fc1 output, cached for activation backward
+};
+
+} // namespace dota

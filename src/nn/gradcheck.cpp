@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of finite-difference gradient checking.
+ */
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+namespace dota {
+
+GradCheckResult
+checkGradient(const std::function<double()> &loss_fn, Parameter &param,
+              size_t probes, double eps, Rng &rng)
+{
+    GradCheckResult res;
+    const size_t total = param.value.size();
+    probes = std::min(probes, total);
+    const auto picks = rng.sampleWithoutReplacement(total, probes);
+    for (size_t idx : picks) {
+        float *slot = param.value.data() + idx;
+        const float saved = *slot;
+
+        *slot = saved + static_cast<float>(eps);
+        const double up = loss_fn();
+        *slot = saved - static_cast<float>(eps);
+        const double down = loss_fn();
+        *slot = saved;
+
+        const double numeric = (up - down) / (2.0 * eps);
+        const double analytic = param.grad.data()[idx];
+        const double abs_err = std::abs(numeric - analytic);
+        res.max_abs_err = std::max(res.max_abs_err, abs_err);
+        const double denom =
+            std::max(std::abs(numeric), std::abs(analytic));
+        if (denom > 1e-4)
+            res.max_rel_err = std::max(res.max_rel_err, abs_err / denom);
+        ++res.checked;
+    }
+    return res;
+}
+
+} // namespace dota

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Finite-difference gradient checking used by the test suite to verify
+ * every hand-derived backward pass.
+ */
+#pragma once
+
+#include <functional>
+
+#include "nn/param.hpp"
+
+namespace dota {
+
+/** Result of a gradient check over one parameter. */
+struct GradCheckResult
+{
+    double max_abs_err = 0.0; ///< worst |analytic - numeric|
+    double max_rel_err = 0.0; ///< worst relative error among large grads
+    size_t checked = 0;       ///< number of probed elements
+};
+
+/**
+ * Compare the accumulated analytic gradient of @p param against central
+ * finite differences of @p loss_fn.
+ *
+ * @param loss_fn   recomputes the scalar loss from current parameter
+ *                  values (must be deterministic)
+ * @param param     parameter whose .grad holds the analytic gradient
+ * @param probes    number of randomly chosen elements to probe
+ * @param eps       finite-difference step
+ * @param rng       probe-position stream
+ */
+GradCheckResult checkGradient(const std::function<double()> &loss_fn,
+                              Parameter &param, size_t probes, double eps,
+                              Rng &rng);
+
+} // namespace dota

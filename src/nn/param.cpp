@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Module utilities.
+ */
+#include "nn/param.hpp"
+
+namespace dota {
+
+void
+copyParams(Module &src, Module &dst)
+{
+    std::vector<Parameter *> from, to;
+    src.collectParams(from);
+    dst.collectParams(to);
+    DOTA_ASSERT(from.size() == to.size(),
+                "copyParams: {} vs {} parameters", from.size(), to.size());
+    for (size_t i = 0; i < from.size(); ++i) {
+        DOTA_ASSERT(from[i]->value.rows() == to[i]->value.rows() &&
+                        from[i]->value.cols() == to[i]->value.cols(),
+                    "copyParams: shape mismatch at '{}'", from[i]->name);
+        to[i]->value = from[i]->value;
+    }
+}
+
+} // namespace dota

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trainable parameter and module base for the from-scratch NN stack.
+ *
+ * DOTA's algorithmic contribution (the jointly-optimized Detector,
+ * Section 3) requires *training* transformers with attention omission in
+ * the loop. No framework is available offline, so this directory implements
+ * a compact reverse-mode stack: concrete layer classes with explicit
+ * forward/backward, parameters collected into a flat list for the
+ * optimizer. Modules are stateful — forward caches exactly the activations
+ * its backward needs — and process one sequence at a time; mini-batching is
+ * gradient accumulation across sequences.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace dota {
+
+/** One trainable tensor with its gradient accumulator. */
+struct Parameter
+{
+    Parameter() = default;
+    Parameter(std::string n, Matrix v)
+        : name(std::move(n)), value(std::move(v)),
+          grad(value.rows(), value.cols())
+    {}
+
+    void zeroGrad() { grad.zero(); }
+
+    std::string name;
+    Matrix value;
+    Matrix grad;
+};
+
+/** Base for anything that owns Parameters. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Append raw pointers to every trainable parameter. */
+    virtual void collectParams(std::vector<Parameter *> &out) = 0;
+
+    /** Zero every owned gradient. */
+    void
+    zeroGrad()
+    {
+        std::vector<Parameter *> ps;
+        collectParams(ps);
+        for (Parameter *p : ps)
+            p->zeroGrad();
+    }
+
+    /** Total number of trainable scalars. */
+    size_t
+    numParams()
+    {
+        std::vector<Parameter *> ps;
+        collectParams(ps);
+        size_t total = 0;
+        for (Parameter *p : ps)
+            total += p->value.size();
+        return total;
+    }
+};
+
+/**
+ * Copy parameter values from @p src into @p dst. Both modules must have
+ * identical architecture (same parameter order and shapes). Used to fork
+ * a pre-trained model into several sweep points (Figure 14).
+ */
+void copyParams(Module &src, Module &dst);
+
+} // namespace dota

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Implementation of parameter checkpointing.
+ */
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'O', 'T', 'A'};
+constexpr uint32_t kVersion = 1;
+
+void
+writeU64(std::ofstream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+uint64_t
+readU64(std::ifstream &is)
+{
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+void
+writeString(std::ofstream &os, const std::string &s)
+{
+    writeU64(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::ifstream &is)
+{
+    const uint64_t len = readU64(is);
+    DOTA_ASSERT(len < (1u << 20), "implausible string length {}", len);
+    std::string s(len, '\0');
+    is.read(s.data(), static_cast<std::streamsize>(len));
+    return s;
+}
+
+} // namespace
+
+void
+saveCheckpoint(Module &module, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        DOTA_FATAL("cannot open '{}' for writing", path);
+
+    std::vector<Parameter *> params;
+    module.collectParams(params);
+
+    os.write(kMagic, 4);
+    uint32_t version = kVersion;
+    os.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    writeU64(os, params.size());
+    for (Parameter *p : params) {
+        writeString(os, p->name);
+        writeU64(os, p->value.rows());
+        writeU64(os, p->value.cols());
+        os.write(reinterpret_cast<const char *>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.size() *
+                                              sizeof(float)));
+    }
+    if (!os)
+        DOTA_FATAL("write to '{}' failed", path);
+}
+
+void
+loadCheckpoint(Module &module, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        DOTA_FATAL("cannot open '{}' for reading", path);
+
+    char magic[4] = {};
+    is.read(magic, 4);
+    if (std::string(magic, 4) != std::string(kMagic, 4))
+        DOTA_FATAL("'{}' is not a DOTA checkpoint", path);
+    uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (version != kVersion)
+        DOTA_FATAL("checkpoint version {} unsupported (expected {})",
+                   version, kVersion);
+
+    std::vector<Parameter *> params;
+    module.collectParams(params);
+    const uint64_t count = readU64(is);
+    if (count != params.size())
+        DOTA_FATAL("checkpoint has {} parameters, module has {}", count,
+                   params.size());
+    for (Parameter *p : params) {
+        const std::string name = readString(is);
+        if (name != p->name)
+            DOTA_FATAL("checkpoint parameter '{}' does not match module "
+                       "parameter '{}'", name, p->name);
+        const uint64_t rows = readU64(is);
+        const uint64_t cols = readU64(is);
+        if (rows != p->value.rows() || cols != p->value.cols())
+            DOTA_FATAL("shape mismatch for '{}': checkpoint {}x{}, "
+                       "module {}x{}", name, rows, cols, p->value.rows(),
+                       p->value.cols());
+        is.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+    }
+    if (!is)
+        DOTA_FATAL("read from '{}' failed or truncated", path);
+}
+
+bool
+isCheckpoint(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    char magic[4] = {};
+    is.read(magic, 4);
+    return is && std::string(magic, 4) == std::string(kMagic, 4);
+}
+
+} // namespace dota

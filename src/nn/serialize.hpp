@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary checkpointing of Module parameters.
+ *
+ * Format: magic "DOTA" + version, then for each parameter the name,
+ * shape and raw float payload, in collectParams order. Loading verifies
+ * names and shapes so an incompatible architecture fails loudly rather
+ * than silently scrambling weights.
+ */
+#pragma once
+
+#include <string>
+
+#include "nn/param.hpp"
+
+namespace dota {
+
+/** Save every parameter of @p module to @p path. fatal() on IO error. */
+void saveCheckpoint(Module &module, const std::string &path);
+
+/**
+ * Load a checkpoint saved by saveCheckpoint into @p module. fatal() on
+ * IO error, format error, or architecture mismatch.
+ */
+void loadCheckpoint(Module &module, const std::string &path);
+
+/** True when @p path exists and starts with the checkpoint magic. */
+bool isCheckpoint(const std::string &path);
+
+} // namespace dota

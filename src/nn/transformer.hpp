@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end transformer models built from the layer stack: a sequence
+ * classifier (the LRA-style benchmarks and the QA proxy task) and a causal
+ * language model (the GPT-2 / WikiText-103 proxy task).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/embedding.hpp"
+#include "nn/encoder.hpp"
+#include "nn/loss.hpp"
+
+namespace dota {
+
+/** Shape of a transformer stack. */
+struct TransformerConfig
+{
+    size_t in_dim = 16;    ///< input feature dim (classifier only)
+    size_t dim = 64;       ///< model dimension d
+    size_t heads = 4;      ///< attention heads
+    size_t layers = 2;     ///< encoder blocks
+    size_t ffn_dim = 128;  ///< FFN hidden dim
+    size_t classes = 2;    ///< output classes (classifier only)
+    size_t vocab = 64;     ///< vocabulary (LM only)
+    size_t max_seq = 512;  ///< max sequence length (LM positional table)
+    Activation act = Activation::GELU;
+    uint64_t seed = 1;     ///< weight-init seed
+
+    size_t headDim() const { return dim / heads; }
+};
+
+/**
+ * Encoder-based sequence classifier: input projection, L encoder blocks,
+ * mean pooling, linear head. Inputs are continuous token feature vectors
+ * (the synthetic workloads emit these directly).
+ */
+class TransformerClassifier : public Module
+{
+  public:
+    explicit TransformerClassifier(const TransformerConfig &cfg);
+
+    /** Forward over (n x in_dim) features; returns logits (1 x classes). */
+    Matrix forward(const Matrix &features);
+
+    /** Backward from dL/dlogits (1 x classes). */
+    void backward(const Matrix &dlogits);
+
+    /** Install an attention hook into every block. */
+    void setHook(AttentionHook *hook);
+
+    void collectParams(std::vector<Parameter *> &out) override;
+
+    const TransformerConfig &config() const { return cfg_; }
+    std::vector<std::unique_ptr<EncoderBlock>> &blocks() { return blocks_; }
+
+  private:
+    TransformerConfig cfg_;
+    Rng init_rng_;
+    LinearLayer input_;
+    std::vector<std::unique_ptr<EncoderBlock>> blocks_;
+    LinearLayer head_;
+    size_t last_n_ = 0;
+};
+
+/**
+ * Decoder-only causal language model: token + learned positional
+ * embeddings, L causal blocks, tied-free output head. Perplexity on a
+ * synthetic grammar stands in for WikiText-103 (see DESIGN.md).
+ */
+class CausalLM : public Module
+{
+  public:
+    explicit CausalLM(const TransformerConfig &cfg);
+
+    /** Forward over token ids; returns logits (n x vocab). */
+    Matrix forward(const std::vector<int> &ids);
+
+    /** Backward from dL/dlogits (n x vocab). */
+    void backward(const Matrix &dlogits);
+
+    /**
+     * Convenience: mean next-token cross-entropy of @p ids (position i
+     * predicts token i+1) plus gradient injection when @p train is true.
+     */
+    double lmLoss(const std::vector<int> &ids, bool train);
+
+    void setHook(AttentionHook *hook);
+
+    void collectParams(std::vector<Parameter *> &out) override;
+
+    const TransformerConfig &config() const { return cfg_; }
+    std::vector<std::unique_ptr<EncoderBlock>> &blocks() { return blocks_; }
+
+    /** Accessors for the incremental decode path. */
+    EmbeddingLayer &tokenEmbedding() { return tok_; }
+    const Matrix &positionTable() const { return pos_.value; }
+    LinearLayer &lmHead() { return head_; }
+
+  private:
+    TransformerConfig cfg_;
+    Rng init_rng_;
+    EmbeddingLayer tok_;
+    Parameter pos_; ///< max_seq x dim learned positional table
+    std::vector<std::unique_ptr<EncoderBlock>> blocks_;
+    LinearLayer head_;
+    size_t last_n_ = 0;
+};
+
+} // namespace dota

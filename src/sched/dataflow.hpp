@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dataflow analysis: memory traffic and utilization of a sparse attention
+ * computation under the three scheduling policies (Figures 8/9/15).
+ */
+#pragma once
+
+#include <string>
+
+#include "sched/scheduler.hpp"
+
+namespace dota {
+
+/** Scheduling policy selector. */
+enum class Dataflow { RowByRow, TokenParallelInOrder, TokenParallelOoO };
+
+/** Human-readable dataflow name. */
+std::string dataflowName(Dataflow d);
+
+/** Aggregate dataflow statistics over a whole mask. */
+struct DataflowStats
+{
+    uint64_t key_loads = 0;    ///< key-vector loads (SRAM reads)
+    uint64_t value_loads = 0;  ///< value-vector loads (schedule is reused
+                               ///< for A*V, Section 4.3)
+    uint64_t rounds = 0;       ///< synchronized compute rounds
+    uint64_t connections = 0;  ///< total (query, key) pairs computed
+    uint64_t ideal_loads = 0;  ///< lower bound: distinct keys per group
+    double utilization = 0.0;  ///< mean PE-slot utilization
+};
+
+/**
+ * Analyze @p mask under @p dataflow with token parallelism @p t
+ * (ignored for RowByRow).
+ */
+DataflowStats analyzeDataflow(const SparseMask &mask, Dataflow dataflow,
+                              size_t t = 4);
+
+/** Build the worked example of Figure 8 (4 queries x 5 keys, 10 nnz). */
+SparseMask figure8Mask();
+
+/** Build the worked example of Figure 9 (4 queries x 6 keys, 12 nnz). */
+SparseMask figure9Mask();
+
+} // namespace dota

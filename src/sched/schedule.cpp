@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Implementation of schedule structures.
+ */
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dota {
+
+int
+Round::served() const
+{
+    int total = 0;
+    for (const Issue &i : issues)
+        total += i.popcount();
+    return total;
+}
+
+uint64_t
+GroupSchedule::keyLoads() const
+{
+    uint64_t total = 0;
+    for (const Round &r : rounds)
+        total += r.loads();
+    return total;
+}
+
+uint64_t
+GroupSchedule::connections() const
+{
+    uint64_t total = 0;
+    for (const Round &r : rounds)
+        total += static_cast<uint64_t>(r.served());
+    return total;
+}
+
+double
+GroupSchedule::utilization() const
+{
+    if (rounds.empty() || active_rows == 0)
+        return 1.0;
+    const double slots =
+        static_cast<double>(rounds.size()) *
+        static_cast<double>(active_rows);
+    return static_cast<double>(connections()) / slots;
+}
+
+bool
+GroupSchedule::covers(const std::vector<std::vector<uint32_t>> &rows) const
+{
+    // Gather issued connections per query.
+    std::vector<std::multiset<uint32_t>> issued(rows.size());
+    for (const Round &r : rounds) {
+        std::set<uint32_t> in_round; // a query may appear once per round
+        for (const Issue &is : r.issues) {
+            for (size_t q = 0; q < rows.size(); ++q) {
+                if (is.query_mask & (1u << q)) {
+                    if (in_round.count(static_cast<uint32_t>(q)))
+                        return false; // query served twice in one round
+                    in_round.insert(static_cast<uint32_t>(q));
+                    issued[q].insert(is.key);
+                }
+            }
+        }
+    }
+    for (size_t q = 0; q < rows.size(); ++q) {
+        std::multiset<uint32_t> want(rows[q].begin(), rows[q].end());
+        if (issued[q] != want)
+            return false;
+    }
+    return true;
+}
+
+} // namespace dota

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Schedule data structures for the Token-Parallel dataflow (Section 4.3).
+ *
+ * The attention-output stage processes T query rows in parallel (one
+ * "Header" per Lane, T = 4 in DOTA). A GroupSchedule records, for one
+ * group of T consecutive queries, the order in which key/value vectors
+ * are issued: a sequence of rounds, where each round gives every active
+ * query exactly one key (the synchronization property Algorithm 1
+ * maintains) and each distinct key issued in a round is loaded from SRAM
+ * once and broadcast to the queries it serves.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dota {
+
+/** One key issue: load key @p key, serve the queries in @p query_mask. */
+struct Issue
+{
+    uint32_t key = 0;
+    uint32_t query_mask = 0; ///< bit i = query (group_base + i)
+
+    int popcount() const { return __builtin_popcount(query_mask); }
+};
+
+/** One synchronized round: each active query receives exactly one key. */
+struct Round
+{
+    std::vector<Issue> issues;
+
+    /** Number of key-vector loads this round (one per issue). */
+    size_t loads() const { return issues.size(); }
+
+    /** Number of queries served this round. */
+    int served() const;
+};
+
+/** Complete schedule for one group of up to T query rows. */
+struct GroupSchedule
+{
+    size_t base = 0;        ///< first query row of the group
+    size_t parallelism = 4; ///< T
+    size_t active_rows = 0; ///< rows in this group (may be < T at edges)
+    std::vector<Round> rounds;
+
+    /** Total key-vector loads across all rounds. */
+    uint64_t keyLoads() const;
+
+    /** Sum over rounds of queries served (== total connections). */
+    uint64_t connections() const;
+
+    /**
+     * Compute utilization: served query-slots over issued query-slots
+     * (rounds * active_rows). 1.0 = perfectly balanced.
+     */
+    double utilization() const;
+
+    /**
+     * Validate against a per-query requirement list: every (query, key)
+     * connection appears exactly once and nothing extra is issued.
+     * Returns false with no diagnostics on failure (tests report).
+     */
+    bool covers(const std::vector<std::vector<uint32_t>> &rows) const;
+};
+
+} // namespace dota

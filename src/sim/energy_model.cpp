@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Implementation of the energy/power/area model.
+ */
+#include "sim/energy_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+double
+EnergyModel::macPj(Precision p) const
+{
+    switch (p) {
+      case Precision::FX16:
+        return mac_fx16_pj;
+      case Precision::INT8:
+        return mac_int8_pj;
+      case Precision::INT4:
+        return mac_int4_pj;
+      case Precision::INT2:
+        return mac_int2_pj;
+      case Precision::FP32:
+        DOTA_PANIC("FP32 MACs do not execute on the RMMU");
+    }
+    DOTA_PANIC("unknown precision");
+}
+
+double
+EnergyModel::schedulerIssuePj(size_t t) const
+{
+    // 2^t - 1 ID buffers are searched/updated per issue; normalize so
+    // the configured per-issue energy is the T = 4 value.
+    const double buffers =
+        static_cast<double>((uint64_t{1} << t) - 1);
+    return scheduler_issue_pj * buffers / 15.0;
+}
+
+EnergyModel
+EnergyModel::tsmc22()
+{
+    EnergyModel em;
+    // Chosen so module power at full utilization reproduces Table 2:
+    //   RMMU: 512 PEs * 1 GHz * 1.26 pJ = 645 mW      (Table 2: 645.98)
+    //   MFU: 16 exp * 2.4 + 16 div * 1.2 + 256 * 0.02 (Table 2: 60.73)
+    //   Accumulator: 512 * 0.27 pJ                    (Table 2: 139.21)
+    em.mac_fx16_pj = 1.26;
+    em.mac_int8_pj = 0.34;
+    em.mac_int4_pj = 0.10;
+    em.mac_int2_pj = 0.03;
+    em.mfu_exp_pj = 2.4;
+    em.mfu_div_pj = 1.2;
+    em.quant_pj = 0.4;
+    em.comparator_pj = 0.003;
+    // Each issue searches/updates the 15 ID buffers at T = 4; a few
+    // SRAM-word touches => ~3 pJ. This makes the Figure 15 total-cost
+    // minimum land at T = 4 and the Filter row match Table 2.
+    em.scheduler_issue_pj = 3.0;
+    em.accumulator_pj = 0.27;
+    em.sram_read_pj = 0.12;
+    em.sram_write_pj = 0.15;
+    em.dram_pj = 20.0;
+    em.leakage_w = 0.020;
+    return em;
+}
+
+std::vector<ModuleBudget>
+powerAreaBudget(const HwConfig &hw, const EnergyModel &em)
+{
+    const double ghz = hw.freq_ghz;
+    const auto pes = static_cast<double>(hw.lane.rmmu.pes());
+
+    // Per-lane module powers (mW) at full utilization.
+    const double rmmu_mw = pes * em.mac_fx16_pj * ghz;
+    const double mfu_mw =
+        (static_cast<double>(hw.lane.mfu_exp_units) * em.mfu_exp_pj +
+         static_cast<double>(hw.lane.mfu_div_units) * em.mfu_div_pj +
+         static_cast<double>(hw.lane.mfu_adder_tree) * 0.02) *
+        ghz;
+    // Detector/Filter: estimated scores stream through the comparator at
+    // the INT8 RMMU rate (4 per PE per cycle); the Scheduler FSM issues
+    // one ID per cycle.
+    const double filter_mw =
+        (4.0 * pes * em.comparator_pj + em.scheduler_issue_pj) * ghz;
+    const double accum_mw =
+        static_cast<double>(hw.accumulator_width) * em.accumulator_pj *
+        ghz;
+
+    // Areas (mm^2, 22nm): densities fitted to Table 2.
+    const double rmmu_area = pes * 0.00119;
+    const double filter_area = 0.003;
+    const double mfu_area = 0.060;
+    const double accum_area = 0.045;
+    const double sram_area =
+        static_cast<double>(hw.sramBytes()) / (1024.0 * 1024.0) * 0.676;
+
+    const auto lanes = static_cast<double>(hw.lanes);
+    const double lane_mw = rmmu_mw + filter_mw + mfu_mw;
+    const double lane_area = rmmu_area + filter_area + mfu_area;
+
+    std::vector<ModuleBudget> rows;
+    rows.push_back({"Lane (all)",
+                    format("{} Lanes per accelerator", hw.lanes),
+                    lanes * lane_mw, lanes * lane_area});
+    rows.push_back({"Lane.RMMU",
+                    format("{}*{} FX-16", hw.lane.rmmu.pe_rows,
+                           hw.lane.rmmu.pe_cols),
+                    rmmu_mw, rmmu_area});
+    rows.push_back({"Lane.Filter",
+                    format("Token Paral. = {}",
+                           hw.lane.token_parallelism),
+                    filter_mw, filter_area});
+    rows.push_back({"Lane.MFU",
+                    format("{} Exp, {} Div, 16*16 Adder Tree",
+                           hw.lane.mfu_exp_units, hw.lane.mfu_div_units),
+                    mfu_mw, mfu_area});
+    rows.push_back({"Accumulator",
+                    format("{} accu/cycle", hw.accumulator_width),
+                    accum_mw, accum_area});
+    rows.push_back({"DOTA (w/o SRAM)",
+                    format("{}TOPS", hw.peakTops()),
+                    lanes * lane_mw + accum_mw,
+                    lanes * lane_area + accum_area});
+    rows.push_back({"SRAM",
+                    format("{}MB", static_cast<double>(hw.sramBytes()) /
+                                       (1024.0 * 1024.0)),
+                    0.51 /* leakage, CACTI-style */, sram_area});
+    return rows;
+}
+
+} // namespace dota

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Energy, power, and area model of the DOTA accelerator.
+ *
+ * Per-operation energies are anchored to 22nm/1GHz literature values
+ * (Horowitz ISSCC'14 scaled from 45nm, plus the CACTI-style SRAM numbers
+ * the paper used) and chosen so module-level power at full utilization
+ * reproduces Table 2. The multi-precision MAC energies follow the
+ * composable-multiplier structure of Figure 7: an INT2 sub-multiplier is
+ * the unit cell, an FX16 MAC spends ~the energy of the 64 cells plus the
+ * shift/accumulate network.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/hw_config.hpp"
+#include "tensor/quant.hpp"
+
+namespace dota {
+
+/** Per-op/access energies in picojoules, plus leakage in watts. */
+struct EnergyModel
+{
+    // Datapath (per MAC).
+    double mac_fx16_pj = 1.00;
+    double mac_int8_pj = 0.27;
+    double mac_int4_pj = 0.08;
+    double mac_int2_pj = 0.025;
+
+    // Memory (per byte).
+    double sram_read_pj = 0.12;
+    double sram_write_pj = 0.15;
+    double dram_pj = 20.0;
+
+    // Multi-Function Unit (per element).
+    double mfu_exp_pj = 4.0;
+    double mfu_div_pj = 3.0;
+    double quant_pj = 0.4;   ///< (de)quantize one element
+
+    // Detector / Scheduler.
+    double comparator_pj = 0.05;        ///< threshold compare per score
+    double scheduler_issue_pj = 0.30;   ///< per issued ID at T = 4
+    double accumulator_pj = 0.15;       ///< per accumulation
+
+    // Leakage (whole accelerator, watts).
+    double leakage_w = 0.020; ///< logic + SRAM leakage (Table 2: SRAM
+                              ///< leakage alone is 0.51 mW)
+
+    /** MAC energy for a precision. */
+    double macPj(Precision p) const;
+
+    /**
+     * Scheduler energy per issued ID at token parallelism @p t. The ID
+     * buffer count grows as 2^t - 1 and each issue searches/updates the
+     * buffers, so per-issue energy scales with the buffer count
+     * (normalized so t = 4 gives scheduler_issue_pj — Figure 15).
+     */
+    double schedulerIssuePj(size_t t) const;
+
+    /** Default 22nm model. */
+    static EnergyModel tsmc22();
+};
+
+/** One row of the Table 2 reproduction. */
+struct ModuleBudget
+{
+    std::string module;
+    std::string configuration;
+    double power_mw = 0.0;
+    double area_mm2 = 0.0;
+};
+
+/**
+ * The accelerator's power/area budget table (reproduces Table 2): module
+ * powers at full utilization from the energy model, areas from the 22nm
+ * density assumptions documented in DESIGN.md.
+ */
+std::vector<ModuleBudget> powerAreaBudget(const HwConfig &hw,
+                                          const EnergyModel &em);
+
+} // namespace dota

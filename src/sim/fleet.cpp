@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the scale-out fleet simulator.
+ */
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+
+namespace dota {
+
+FleetSimulator::FleetSimulator(FleetConfig cfg, const Benchmark &bench,
+                               SimOptions opt)
+    : cfg_(cfg), bench_(bench), opt_(opt),
+      accel_(cfg.accelerator, cfg.energy)
+{
+    DOTA_ASSERT(cfg_.accelerators >= 1, "fleet needs at least one "
+                                        "accelerator");
+}
+
+double
+FleetSimulator::sequenceLatencyMs(size_t seq_len) const
+{
+    auto it = latency_cache_.find(seq_len);
+    if (it != latency_cache_.end())
+        return it->second;
+
+    Benchmark b = bench_;
+    b.paper_shape.seq_len = seq_len;
+    const RunReport report = accel_.simulate(b, opt_);
+    const double ms = report.timeMs();
+    latency_cache_[seq_len] = ms;
+    return ms;
+}
+
+FleetReport
+FleetSimulator::run(const std::vector<size_t> &seq_lens) const
+{
+    FleetReport report;
+    report.accel_busy_ms.assign(cfg_.accelerators, 0.0);
+    if (seq_lens.empty())
+        return report;
+
+    // LPT list scheduling: longest service time first, each job to the
+    // accelerator that frees up earliest.
+    std::vector<double> service;
+    service.reserve(seq_lens.size());
+    for (size_t n : seq_lens)
+        service.push_back(sequenceLatencyMs(n));
+    std::vector<size_t> order(seq_lens.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&service](size_t a, size_t b) {
+        return service[a] > service[b];
+    });
+
+    double latency_sum = 0.0;
+    for (size_t idx : order) {
+        const auto target = static_cast<size_t>(
+            std::min_element(report.accel_busy_ms.begin(),
+                             report.accel_busy_ms.end()) -
+            report.accel_busy_ms.begin());
+        report.accel_busy_ms[target] += service[idx];
+        const double completion = report.accel_busy_ms[target];
+        latency_sum += completion;
+        report.latency.sample(completion);
+        report.max_latency_ms =
+            std::max(report.max_latency_ms, completion);
+        report.total_work_ms += service[idx];
+    }
+    report.makespan_ms = *std::max_element(report.accel_busy_ms.begin(),
+                                           report.accel_busy_ms.end());
+    report.mean_latency_ms =
+        latency_sum / static_cast<double>(seq_lens.size());
+    report.utilization =
+        report.total_work_ms /
+        (report.makespan_ms * static_cast<double>(cfg_.accelerators));
+    report.throughput_seq_s =
+        static_cast<double>(seq_lens.size()) /
+        (report.makespan_ms * 1e-3);
+    return report;
+}
+
+} // namespace dota

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scale-out (sequence-level parallel) simulation — Section 4.1:
+ * "Different input sequences share the same weights while requiring
+ * duplicated hardware resources to be processed in parallel. Therefore,
+ * we can scale-out multiple DOTA accelerators to improve sequence-level
+ * parallelism."
+ *
+ * The FleetSimulator dispatches a batch of variable-length sequences
+ * onto N accelerators with greedy earliest-available scheduling and
+ * reports makespan, latency distribution and per-accelerator
+ * utilization. Per-length single-sequence latencies come from the
+ * cycle-level DotaAccelerator model (cached per distinct length).
+ */
+#pragma once
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "sim/accelerator.hpp"
+
+namespace dota {
+
+/** Fleet configuration. */
+struct FleetConfig
+{
+    size_t accelerators = 4;
+    HwConfig accelerator = HwConfig::dota();
+    EnergyModel energy = EnergyModel::tsmc22();
+};
+
+/** Outcome of one batch dispatch. */
+struct FleetReport
+{
+    double makespan_ms = 0.0;      ///< time until the last job finishes
+    double total_work_ms = 0.0;    ///< sum of job service times
+    double mean_latency_ms = 0.0;  ///< mean completion time
+    double max_latency_ms = 0.0;
+    double utilization = 0.0;      ///< total_work / (N * makespan)
+    double throughput_seq_s = 0.0; ///< jobs / makespan
+    std::vector<double> accel_busy_ms; ///< per-accelerator busy time
+    Distribution latency;          ///< completion-time distribution
+};
+
+/** Batch simulator over identical-model, variable-length sequences. */
+class FleetSimulator
+{
+  public:
+    /**
+     * @param cfg    fleet size and per-accelerator hardware
+     * @param bench  model/benchmark every sequence runs
+     * @param opt    DOTA simulation options (mode, dataflow, ...)
+     */
+    FleetSimulator(FleetConfig cfg, const Benchmark &bench,
+                   SimOptions opt);
+
+    /**
+     * Single-sequence service time for a sequence of @p seq_len tokens
+     * (cached per distinct length).
+     */
+    double sequenceLatencyMs(size_t seq_len) const;
+
+    /**
+     * Dispatch @p seq_lens greedily: longest job first onto the
+     * earliest-available accelerator (LPT list scheduling).
+     */
+    FleetReport run(const std::vector<size_t> &seq_lens) const;
+
+    const FleetConfig &config() const { return cfg_; }
+
+  private:
+    FleetConfig cfg_;
+    Benchmark bench_;
+    SimOptions opt_;
+    DotaAccelerator accel_;
+    mutable std::map<size_t, double> latency_cache_;
+};
+
+} // namespace dota

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Hardware configuration presets.
+ */
+#include "sim/hw_config.hpp"
+
+namespace dota {
+
+HwConfig
+HwConfig::dota()
+{
+    return HwConfig{}; // defaults are the Table 2 configuration
+}
+
+HwConfig
+HwConfig::dotaScaledForGpu()
+{
+    HwConfig cfg;
+    cfg.lanes = 24; // 6 accelerators x 4 lanes ~= 12 TOPS
+    cfg.dram_gb_per_s = 384.0;
+    return cfg;
+}
+
+} // namespace dota

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the bit-exact PE model.
+ */
+#include "sim/pe_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+int8_t
+int2Multiply(int8_t a, int8_t b)
+{
+    DOTA_ASSERT(a >= -2 && a <= 1 && b >= -2 && b <= 1,
+                "INT2 operands out of range: {} * {}", a, b);
+    return static_cast<int8_t>(a * b); // in [-2, 4]: fits 4 bits
+}
+
+namespace {
+
+/**
+ * Split a signed @p bits-wide value into base-4 digits, least
+ * significant first: lower digits unsigned in [0, 3], the top digit
+ * signed in [-2, 1] (two's complement weighting).
+ */
+std::vector<int8_t>
+toDigits(int32_t v, int bits)
+{
+    const int digits = bits / 2;
+    // Two's-complement encode, then reinterpret digit-wise.
+    const auto mask = static_cast<uint32_t>((int64_t{1} << bits) - 1);
+    uint32_t enc = static_cast<uint32_t>(v) & mask;
+    std::vector<int8_t> out(digits);
+    for (int i = 0; i < digits; ++i) {
+        out[i] = static_cast<int8_t>(enc & 0x3u);
+        enc >>= 2;
+    }
+    // Top digit carries the sign weight (-2 for bit pattern 1x).
+    if (out[digits - 1] >= 2)
+        out[digits - 1] = static_cast<int8_t>(out[digits - 1] - 4);
+    return out;
+}
+
+} // namespace
+
+int64_t
+composedMultiply(int32_t a, int32_t b, int bits, size_t *unit_ops)
+{
+    DOTA_ASSERT(bits == 4 || bits == 8 || bits == 16,
+                "composed multiply supports 4/8/16 bits, got {}", bits);
+    const int64_t lo = -(int64_t{1} << (bits - 1));
+    const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+    DOTA_ASSERT(a >= lo && a <= hi && b >= lo && b <= hi,
+                "operand out of {}-bit range", bits);
+
+    const auto da = toDigits(a, bits);
+    const auto db = toDigits(b, bits);
+    int64_t acc = 0;
+    size_t ops = 0;
+    for (size_t i = 0; i < da.size(); ++i) {
+        for (size_t j = 0; j < db.size(); ++j) {
+            // One unit-cell product per digit pair, shifted into place
+            // by the accumulate network (Figure 7c's <<4 / <<2 / <<0).
+            const int32_t partial =
+                static_cast<int32_t>(da[i]) * static_cast<int32_t>(db[j]);
+            acc += static_cast<int64_t>(partial) << (2 * (i + j));
+            ++ops;
+        }
+    }
+    if (unit_ops)
+        *unit_ops = ops;
+    return acc;
+}
+
+size_t
+MultiPrecisionPe::macsPerCycle() const
+{
+    return static_cast<size_t>(rmmuMacsPerPe(mode_));
+}
+
+void
+MultiPrecisionPe::cycle(
+    const std::vector<std::pair<int32_t, int32_t>> &pairs)
+{
+    const size_t capacity = macsPerCycle();
+    DOTA_ASSERT(capacity > 0, "mode not executable on the PE");
+    DOTA_ASSERT(pairs.size() <= capacity,
+                "{} operand pairs exceed the mode's {} MACs/cycle",
+                pairs.size(), capacity);
+    const int bits = precisionBits(mode_);
+    for (const auto &[a, b] : pairs) {
+        if (bits == 2) {
+            // Native unit-cell mode: one cell per MAC.
+            psum_ += int2Multiply(static_cast<int8_t>(a),
+                                  static_cast<int8_t>(b));
+            unit_ops_ += 1;
+        } else {
+            size_t ops = 0;
+            psum_ += composedMultiply(a, b, bits, &ops);
+            unit_ops_ += ops;
+        }
+    }
+    ++cycles_;
+}
+
+double
+MultiPrecisionPe::utilization() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    // The PE owns (16/2)^2 = 64 INT2 unit cells; each cycle offers all
+    // of them.
+    const double offered = static_cast<double>(cycles_) * 64.0;
+    return static_cast<double>(unit_ops_) / offered;
+}
+
+} // namespace dota

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of the RMMU model.
+ */
+#include "sim/rmmu.hpp"
+
+namespace dota {
+
+namespace {
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+uint64_t
+Rmmu::gemmCycles(uint64_t m, uint64_t k, uint64_t n, Precision p) const
+{
+    if (m == 0 || k == 0 || n == 0)
+        return 0;
+    const uint64_t row_tiles = ceilDiv(m, cfg_.pe_rows);
+    const uint64_t col_tiles = ceilDiv(n, cfg_.pe_cols);
+    const uint64_t per_pe =
+        static_cast<uint64_t>(rmmuMacsPerPe(p));
+    DOTA_ASSERT(per_pe > 0, "precision not executable on the RMMU");
+    return row_tiles * col_tiles * ceilDiv(k, per_pe);
+}
+
+uint64_t
+Rmmu::sparseAttentionCycles(uint64_t rounds, size_t t,
+                            size_t head_dim) const
+{
+    // Each round = t dot products of length head_dim; the array packs as
+    // many round-slots per cycle as it has PEs.
+    const uint64_t slot_macs =
+        rounds * static_cast<uint64_t>(t) *
+        static_cast<uint64_t>(head_dim);
+    return ceilDiv(slot_macs, macsPerCycle(Precision::FX16));
+}
+
+} // namespace dota

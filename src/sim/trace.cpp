@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the attention-group tracer.
+ */
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+GroupTrace
+traceAttentionGroup(const GroupSchedule &schedule, const LaneConfig &lane,
+                    size_t head_dim)
+{
+    GroupTrace trace;
+    const uint64_t fetch_lat = std::max<uint64_t>(
+        1, (head_dim * 2 + lane.sram_bank_bytes_per_cycle - 1) /
+               lane.sram_bank_bytes_per_cycle);
+    // One PE row (pe_cols MACs) per served query per issue.
+    const uint64_t dot_lat = std::max<uint64_t>(
+        1, (head_dim + lane.rmmu.pe_cols - 1) / lane.rmmu.pe_cols);
+
+    uint64_t round_start = 0;      ///< when the current round may compute
+    uint64_t prev_fetch_done = 0;  ///< double buffering horizon
+    for (size_t ri = 0; ri < schedule.rounds.size(); ++ri) {
+        const Round &round = schedule.rounds[ri];
+
+        // Fetch phase: issues hitting the same bank serialize.
+        std::map<size_t, uint64_t> bank_free; // bank -> next free cycle
+        uint64_t fetch_done = prev_fetch_done;
+        uint64_t serial_penalty = 0;
+        for (const Issue &is : round.issues) {
+            const size_t bank = is.key % lane.sram_banks;
+            uint64_t start = std::max(prev_fetch_done, bank_free[bank]);
+            if (bank_free.count(bank) && bank_free[bank] > prev_fetch_done)
+                serial_penalty += fetch_lat;
+            const uint64_t end = start + fetch_lat;
+            bank_free[bank] = end;
+            fetch_done = std::max(fetch_done, end);
+            trace.events.push_back({start, end,
+                                    format("sram.bank{}", bank),
+                                    format("fetch k{}", is.key)});
+        }
+
+        // Compute phase: starts when both the fetches and the previous
+        // round's compute are done; all served queries proceed in
+        // parallel on their own PE rows.
+        const uint64_t compute_start = std::max(fetch_done, round_start);
+        const uint64_t compute_end = compute_start + dot_lat;
+        for (const Issue &is : round.issues) {
+            for (size_t q = 0; q < schedule.parallelism; ++q) {
+                if (is.query_mask & (1u << q))
+                    trace.events.push_back(
+                        {compute_start, compute_end,
+                         format("pe.row{}", q),
+                         format("dot q{}*k{}", schedule.base + q,
+                                is.key)});
+            }
+        }
+
+        trace.fetch_cycles += fetch_done - prev_fetch_done;
+        trace.compute_cycles += dot_lat;
+        trace.bank_conflict_cycles += serial_penalty;
+        prev_fetch_done = fetch_done;
+        round_start = compute_end;
+    }
+    trace.total_cycles = round_start;
+    return trace;
+}
+
+void
+GroupTrace::print(std::ostream &os, size_t max_events) const
+{
+    os << "cycle     unit           op\n";
+    size_t shown = 0;
+    for (const TraceEvent &e : events) {
+        if (shown++ >= max_events) {
+            os << "... (" << events.size() - max_events
+               << " more events)\n";
+            break;
+        }
+        os << std::left << std::setw(4) << e.start << "-"
+           << std::setw(5) << e.end << std::setw(15) << e.unit << e.what
+           << "\n";
+    }
+    os << "total " << total_cycles << " cycles (fetch " << fetch_cycles
+       << ", compute " << compute_cycles << ", bank-conflict stalls "
+       << bank_conflict_cycles << ")\n";
+}
+
+} // namespace dota

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cycle-annotated execution trace of one Token-Parallel attention group
+ * on a compute Lane — the microscope view of the dataflow in Figures
+ * 6/9/10: per round, which key vectors are fetched from which SRAM
+ * banks (with bank-conflict serialization), and when the PE rows
+ * consume them.
+ *
+ * The trace is illustrative (the top-level performance model is
+ * tile-granular), but it is cycle-consistent: its total latency uses the
+ * same bank width and PE geometry as the LayerReport model, and the test
+ * suite checks the two agree on aggregate throughput.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sim/hw_config.hpp"
+
+namespace dota {
+
+/** One traced micro-operation. */
+struct TraceEvent
+{
+    uint64_t start = 0;   ///< first cycle (inclusive)
+    uint64_t end = 0;     ///< last cycle (exclusive)
+    std::string unit;     ///< "sram.bank3", "pe.row0", ...
+    std::string what;     ///< "fetch k17", "dot q2*k17", ...
+};
+
+/** Trace of one scheduled group. */
+struct GroupTrace
+{
+    std::vector<TraceEvent> events;
+    uint64_t total_cycles = 0;
+    uint64_t fetch_cycles = 0;         ///< cycles spent fetching
+    uint64_t compute_cycles = 0;       ///< cycles spent in the PEs
+    uint64_t bank_conflict_cycles = 0; ///< serialization from conflicts
+
+    /** Render a gantt-style text view. */
+    void print(std::ostream &os, size_t max_events = 64) const;
+};
+
+/**
+ * Trace the execution of @p schedule on one Lane: key fetches map to
+ * banks by (key mod banks); fetches within a round serialize per bank;
+ * each issue's dot products run on one PE row per served query with the
+ * next round's fetches overlapped (double buffering).
+ *
+ * @param schedule  output of a Scheduler for one group
+ * @param lane      lane geometry (banks, bank width, PE array)
+ * @param head_dim  key/query vector length
+ */
+GroupTrace traceAttentionGroup(const GroupSchedule &schedule,
+                               const LaneConfig &lane, size_t head_dim);
+
+} // namespace dota

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of the spectral helpers.
+ */
+#include "tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace dota {
+
+namespace {
+
+/** Modified Gram-Schmidt orthonormalization of the columns of @p v. */
+void
+orthonormalize(Matrix &v, Rng &rng)
+{
+    const size_t n = v.rows(), k = v.cols();
+    for (size_t j = 0; j < k; ++j) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            double pre = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                pre += static_cast<double>(v(i, j)) * v(i, j);
+            pre = std::sqrt(pre);
+            for (size_t p = 0; p < j; ++p) {
+                double dot = 0.0;
+                for (size_t i = 0; i < n; ++i)
+                    dot += static_cast<double>(v(i, p)) * v(i, j);
+                for (size_t i = 0; i < n; ++i)
+                    v(i, j) -= static_cast<float>(dot) * v(i, p);
+            }
+            double norm = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                norm += static_cast<double>(v(i, j)) * v(i, j);
+            norm = std::sqrt(norm);
+            // Degeneracy must be judged *relative* to the column's
+            // pre-projection norm: when the matrix has rank r < k, one
+            // Gram multiply maps every column into the r-dimensional
+            // range, and surplus columns collapse to float rounding
+            // noise of the projection (|residual| ~ eps * |column|),
+            // which is far above any absolute epsilon.
+            if (norm >= 1e-5 * pre && norm >= 1e-30) {
+                for (size_t i = 0; i < n; ++i)
+                    v(i, j) = static_cast<float>(v(i, j) / norm);
+                break;
+            }
+            // Restart from fresh randomness and re-project: the column
+            // converges to a null-space direction with a ~zero Rayleigh
+            // quotient, as it should.
+            for (size_t i = 0; i < n; ++i)
+                v(i, j) = static_cast<float>(rng.normal());
+        }
+    }
+}
+
+} // namespace
+
+std::vector<double>
+topSingularValues(const Matrix &a, size_t k, size_t iters, uint64_t seed)
+{
+    DOTA_ASSERT(!a.empty(), "spectrum of an empty matrix");
+    const size_t dim = std::min(a.rows(), a.cols());
+    k = std::min(k, dim);
+
+    // Subspace iteration on the Gram matrix G = a^T a (cols x cols) or
+    // a a^T, whichever is smaller.
+    const bool use_cols = a.cols() <= a.rows();
+    const size_t n = use_cols ? a.cols() : a.rows();
+    Rng rng(seed);
+    Matrix v = Matrix::randomNormal(n, k, rng);
+    orthonormalize(v, rng);
+
+    Matrix gv;
+    for (size_t it = 0; it < iters; ++it) {
+        if (use_cols) {
+            // G v = a^T (a v)
+            gv = matmulAT(a, matmul(a, v));
+        } else {
+            gv = matmul(a, matmulAT(a, v));
+        }
+        v = gv;
+        orthonormalize(v, rng);
+    }
+
+    // Rayleigh quotients give the eigenvalues of G = singular values^2.
+    std::vector<double> out(k, 0.0);
+    const Matrix av = use_cols ? matmul(a, v) : matmulAT(a, v);
+    for (size_t j = 0; j < k; ++j) {
+        double norm = 0.0;
+        for (size_t i = 0; i < av.rows(); ++i)
+            norm += static_cast<double>(av(i, j)) * av(i, j);
+        out[j] = std::sqrt(norm);
+    }
+    std::sort(out.begin(), out.end(), std::greater<double>());
+    return out;
+}
+
+double
+effectiveRank(const Matrix &a, size_t k, size_t iters)
+{
+    const auto sv = topSingularValues(a, k, iters);
+    double s2 = 0.0, s4 = 0.0;
+    for (double s : sv) {
+        s2 += s * s;
+        s4 += s * s * s * s;
+    }
+    if (s4 <= 0.0)
+        return 0.0;
+    return s2 * s2 / s4;
+}
+
+double
+spectralEnergyTopK(const Matrix &a, size_t k, size_t iters)
+{
+    const auto sv = topSingularValues(a, k, iters);
+    double captured = 0.0;
+    for (double s : sv)
+        captured += s * s;
+    const double total = a.frobeniusNorm() * a.frobeniusNorm();
+    return total > 0.0 ? std::min(1.0, captured / total) : 0.0;
+}
+
+} // namespace dota

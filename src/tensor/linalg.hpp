@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small dense linear-algebra extras: top singular values via subspace
+ * iteration and spectral summary statistics. Used to *measure* the
+ * low-rank structure the joint optimization induces in attention scores
+ * (the Section 3.3 claim).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace dota {
+
+/**
+ * Approximate the @p k largest singular values of @p a by subspace
+ * iteration on a^T a (with orthonormalization), descending order.
+ *
+ * @param iters  iteration count; 30 is plenty for well-separated spectra
+ */
+std::vector<double> topSingularValues(const Matrix &a, size_t k,
+                                      size_t iters = 30,
+                                      uint64_t seed = 1234);
+
+/**
+ * Effective rank (participation ratio of the squared spectrum):
+ * (sum s_i^2)^2 / sum s_i^4, computed over the top @p k singular
+ * values (pass k >= min(rows, cols) for the full spectrum). A matrix
+ * with r equal singular values and the rest zero has effective rank r.
+ */
+double effectiveRank(const Matrix &a, size_t k, size_t iters = 30);
+
+/**
+ * Fraction of squared spectral mass captured by the top @p k singular
+ * values relative to the full Frobenius mass: 1.0 means the matrix is
+ * (numerically) rank-k.
+ */
+double spectralEnergyTopK(const Matrix &a, size_t k, size_t iters = 30);
+
+} // namespace dota

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Implementation of the dense kernels.
+ */
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace dota {
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    DOTA_ASSERT(a.cols() == b.rows(), "matmul {} * {}", a.shapeStr(),
+                b.shapeStr());
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Matrix c(m, n);
+    // ikj loop order: streams over B rows, keeps C row hot.
+    for (size_t i = 0; i < m; ++i) {
+        float *crow = c.row(i);
+        for (size_t p = 0; p < k; ++p) {
+            const float av = a(i, p);
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(p);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulBT(const Matrix &a, const Matrix &b)
+{
+    DOTA_ASSERT(a.cols() == b.cols(), "matmulBT {} * {}^T", a.shapeStr(),
+                b.shapeStr());
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    Matrix c(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulAT(const Matrix &a, const Matrix &b)
+{
+    DOTA_ASSERT(a.rows() == b.rows(), "matmulAT {}^T * {}", a.shapeStr(),
+                b.shapeStr());
+    const size_t m = a.cols(), k = a.rows(), n = b.cols();
+    Matrix c(m, n);
+    for (size_t p = 0; p < k; ++p) {
+        const float *arow = a.row(p);
+        const float *brow = b.row(p);
+        for (size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+namespace {
+
+void
+assertSameShape(const Matrix &a, const Matrix &b, const char *what)
+{
+    DOTA_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                "{}: shape mismatch {} vs {}", what, a.shapeStr(),
+                b.shapeStr());
+}
+
+} // namespace
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    assertSameShape(a, b, "add");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    return c;
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b)
+{
+    assertSameShape(a, b, "sub");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] - b.data()[i];
+    return c;
+}
+
+Matrix
+hadamard(const Matrix &a, const Matrix &b)
+{
+    assertSameShape(a, b, "hadamard");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * b.data()[i];
+    return c;
+}
+
+Matrix
+scale(const Matrix &a, float s)
+{
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * s;
+    return c;
+}
+
+Matrix
+addRowBroadcast(const Matrix &a, const Matrix &bias)
+{
+    DOTA_ASSERT(bias.rows() == 1 && bias.cols() == a.cols(),
+                "bias {} incompatible with {}", bias.shapeStr(),
+                a.shapeStr());
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = a(i, j) + bias(0, j);
+    return c;
+}
+
+Matrix
+rowSoftmax(const Matrix &a)
+{
+    Matrix y(a.rows(), a.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *x = a.row(i);
+        float *out = y.row(i);
+        float mx = -std::numeric_limits<float>::infinity();
+        for (size_t j = 0; j < a.cols(); ++j)
+            mx = std::max(mx, x[j]);
+        double denom = 0.0;
+        for (size_t j = 0; j < a.cols(); ++j) {
+            out[j] = std::exp(x[j] - mx);
+            denom += out[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (size_t j = 0; j < a.cols(); ++j)
+            out[j] *= inv;
+    }
+    return y;
+}
+
+Matrix
+rowSoftmaxMasked(const Matrix &a, const Matrix &mask)
+{
+    assertSameShape(a, mask, "rowSoftmaxMasked");
+    Matrix y(a.rows(), a.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *x = a.row(i);
+        const float *m = mask.row(i);
+        float *out = y.row(i);
+        float mx = -std::numeric_limits<float>::infinity();
+        bool any = false;
+        for (size_t j = 0; j < a.cols(); ++j) {
+            if (m[j] != 0.0f) {
+                mx = std::max(mx, x[j]);
+                any = true;
+            }
+        }
+        if (!any)
+            continue; // row stays zero: no incoming edges.
+        double denom = 0.0;
+        for (size_t j = 0; j < a.cols(); ++j) {
+            if (m[j] != 0.0f) {
+                out[j] = std::exp(x[j] - mx);
+                denom += out[j];
+            }
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (size_t j = 0; j < a.cols(); ++j)
+            out[j] *= inv;
+    }
+    return y;
+}
+
+Matrix
+rowSoftmaxBackward(const Matrix &y, const Matrix &dy)
+{
+    assertSameShape(y, dy, "rowSoftmaxBackward");
+    Matrix dx(y.rows(), y.cols());
+    for (size_t i = 0; i < y.rows(); ++i) {
+        const float *yr = y.row(i);
+        const float *dyr = dy.row(i);
+        double dot = 0.0;
+        for (size_t j = 0; j < y.cols(); ++j)
+            dot += static_cast<double>(yr[j]) * dyr[j];
+        float *dxr = dx.row(i);
+        for (size_t j = 0; j < y.cols(); ++j)
+            dxr[j] = yr[j] * (dyr[j] - static_cast<float>(dot));
+    }
+    return dx;
+}
+
+Matrix
+relu(const Matrix &a)
+{
+    Matrix y(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        y.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+    return y;
+}
+
+Matrix
+reluBackward(const Matrix &x, const Matrix &dy)
+{
+    assertSameShape(x, dy, "reluBackward");
+    Matrix dx(x.rows(), x.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        dx.data()[i] = x.data()[i] > 0.0f ? dy.data()[i] : 0.0f;
+    return dx;
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
+
+} // namespace
+
+Matrix
+gelu(const Matrix &a)
+{
+    Matrix y(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const float x = a.data()[i];
+        const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+        y.data()[i] = 0.5f * x * (1.0f + t);
+    }
+    return y;
+}
+
+Matrix
+geluBackward(const Matrix &xin, const Matrix &dy)
+{
+    assertSameShape(xin, dy, "geluBackward");
+    Matrix dx(xin.rows(), xin.cols());
+    for (size_t i = 0; i < xin.size(); ++i) {
+        const float x = xin.data()[i];
+        const float u = kGeluC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+        const float grad =
+            0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+        dx.data()[i] = dy.data()[i] * grad;
+    }
+    return dx;
+}
+
+Matrix
+layerNorm(const Matrix &x, const Matrix &gamma, const Matrix &beta,
+          Matrix &mean, Matrix &rstd, float eps)
+{
+    const size_t n = x.rows(), d = x.cols();
+    DOTA_ASSERT(gamma.cols() == d && beta.cols() == d,
+                "layerNorm params must be 1x{}", d);
+    Matrix y(n, d);
+    mean = Matrix(n, 1);
+    rstd = Matrix(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        const float *xr = x.row(i);
+        double mu = 0.0;
+        for (size_t j = 0; j < d; ++j)
+            mu += xr[j];
+        mu /= static_cast<double>(d);
+        double var = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+            const double c = xr[j] - mu;
+            var += c * c;
+        }
+        var /= static_cast<double>(d);
+        const float rs = static_cast<float>(1.0 / std::sqrt(var + eps));
+        mean(i, 0) = static_cast<float>(mu);
+        rstd(i, 0) = rs;
+        float *yr = y.row(i);
+        for (size_t j = 0; j < d; ++j)
+            yr[j] = (xr[j] - static_cast<float>(mu)) * rs * gamma(0, j) +
+                    beta(0, j);
+    }
+    return y;
+}
+
+Matrix
+layerNormBackward(const Matrix &x, const Matrix &gamma, const Matrix &mean,
+                  const Matrix &rstd, const Matrix &dy, Matrix &dgamma,
+                  Matrix &dbeta)
+{
+    const size_t n = x.rows(), d = x.cols();
+    if (dgamma.cols() != d)
+        dgamma = Matrix(1, d);
+    if (dbeta.cols() != d)
+        dbeta = Matrix(1, d);
+    Matrix dx(n, d);
+    for (size_t i = 0; i < n; ++i) {
+        const float *xr = x.row(i);
+        const float *dyr = dy.row(i);
+        const float mu = mean(i, 0);
+        const float rs = rstd(i, 0);
+        // xhat_j = (x_j - mu) * rs; dy_j flows through gamma.
+        double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+            const float xhat = (xr[j] - mu) * rs;
+            const float dxhat = dyr[j] * gamma(0, j);
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+            dgamma(0, j) += dyr[j] * xhat;
+            dbeta(0, j) += dyr[j];
+        }
+        float *dxr = dx.row(i);
+        const double inv_d = 1.0 / static_cast<double>(d);
+        for (size_t j = 0; j < d; ++j) {
+            const float xhat = (xr[j] - mu) * rs;
+            const float dxhat = dyr[j] * gamma(0, j);
+            dxr[j] = static_cast<float>(
+                rs * (dxhat - inv_d * sum_dxhat - xhat * inv_d *
+                      sum_dxhat_xhat));
+        }
+    }
+    return dx;
+}
+
+double
+mse(const Matrix &a, const Matrix &b)
+{
+    assertSameShape(a, b, "mse");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.size());
+}
+
+uint64_t
+gemmMacs(size_t m, size_t k, size_t n)
+{
+    return static_cast<uint64_t>(m) * k * n;
+}
+
+} // namespace dota

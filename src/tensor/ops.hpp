@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Dense linear-algebra and NN kernels over Matrix.
+ *
+ * These are the reference (bit-exact, single-threaded) implementations that
+ * both the trainable transformer stack and the accelerator simulator's
+ * functional model call into. Each kernel corresponds to an operation the
+ * DOTA hardware executes, so cycle/energy models reference these names.
+ */
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace dota {
+
+/** C = A * B. Shapes: (m x k) * (k x n) -> (m x n). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T. Shapes: (m x k) * (n x k) -> (m x n). */
+Matrix matmulBT(const Matrix &a, const Matrix &b);
+
+/** C = A^T * B. Shapes: (k x m) * (k x n) -> (m x n). */
+Matrix matmulAT(const Matrix &a, const Matrix &b);
+
+/** Transpose of @p a. */
+Matrix transpose(const Matrix &a);
+
+/** Elementwise sum; shapes must match. */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** Elementwise difference a - b. */
+Matrix sub(const Matrix &a, const Matrix &b);
+
+/** Elementwise (Hadamard) product. */
+Matrix hadamard(const Matrix &a, const Matrix &b);
+
+/** Scale every element by @p s. */
+Matrix scale(const Matrix &a, float s);
+
+/** Add row-vector @p bias (1 x cols) to every row of @p a. */
+Matrix addRowBroadcast(const Matrix &a, const Matrix &bias);
+
+/** Row-wise softmax. */
+Matrix rowSoftmax(const Matrix &a);
+
+/**
+ * Row-wise masked softmax: entries with mask == 0 are treated as -inf
+ * (omitted connections). Rows whose mask is entirely zero produce all-zero
+ * probability (no incoming edges).
+ *
+ * @param a     raw scores, n x m
+ * @param mask  same shape; nonzero = keep.
+ */
+Matrix rowSoftmaxMasked(const Matrix &a, const Matrix &mask);
+
+/**
+ * Backward of row-wise softmax. Given y = softmax(x) per row and dL/dy,
+ * returns dL/dx = y * (dy - sum(dy * y)).
+ */
+Matrix rowSoftmaxBackward(const Matrix &y, const Matrix &dy);
+
+/** ReLU forward. */
+Matrix relu(const Matrix &a);
+
+/** ReLU backward: dx = dy * (x > 0). */
+Matrix reluBackward(const Matrix &x, const Matrix &dy);
+
+/** GELU forward (tanh approximation). */
+Matrix gelu(const Matrix &a);
+
+/** GELU backward (tanh approximation). */
+Matrix geluBackward(const Matrix &x, const Matrix &dy);
+
+/**
+ * Layer normalization forward over each row.
+ *
+ * @param x      n x d input
+ * @param gamma  1 x d scale
+ * @param beta   1 x d shift
+ * @param[out] mean    per-row mean (n x 1), for backward
+ * @param[out] rstd    per-row reciprocal stddev (n x 1), for backward
+ */
+Matrix layerNorm(const Matrix &x, const Matrix &gamma, const Matrix &beta,
+                 Matrix &mean, Matrix &rstd, float eps = 1e-5f);
+
+/**
+ * Layer normalization backward.
+ *
+ * @param x       forward input
+ * @param gamma   scale parameter
+ * @param mean    saved per-row mean
+ * @param rstd    saved per-row reciprocal stddev
+ * @param dy      upstream gradient
+ * @param[out] dgamma  gradient for gamma (accumulated into, 1 x d)
+ * @param[out] dbeta   gradient for beta (accumulated into, 1 x d)
+ * @return dx
+ */
+Matrix layerNormBackward(const Matrix &x, const Matrix &gamma,
+                         const Matrix &mean, const Matrix &rstd,
+                         const Matrix &dy, Matrix &dgamma, Matrix &dbeta);
+
+/** Row-wise mean squared error between equal-shaped matrices. */
+double mse(const Matrix &a, const Matrix &b);
+
+/** Number of multiply-accumulate ops of matmul (m x k)*(k x n). */
+uint64_t gemmMacs(size_t m, size_t k, size_t n);
+
+} // namespace dota

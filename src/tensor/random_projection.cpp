@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of random projections.
+ */
+#include "tensor/random_projection.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace dota {
+
+Matrix
+sparseRandomProjection(size_t d, size_t k, Rng &rng)
+{
+    DOTA_ASSERT(k > 0, "projection rank must be positive");
+    const float mag = std::sqrt(3.0f / static_cast<float>(k));
+    Matrix p(d, k);
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = 0; j < k; ++j) {
+            const double u = rng.uniform();
+            if (u < 1.0 / 6.0)
+                p(i, j) = mag;
+            else if (u < 2.0 / 6.0)
+                p(i, j) = -mag;
+            // else 0 with probability 2/3.
+        }
+    }
+    return p;
+}
+
+Matrix
+gaussianRandomProjection(size_t d, size_t k, Rng &rng)
+{
+    const float stddev = 1.0f / std::sqrt(static_cast<float>(k));
+    return Matrix::randomNormal(d, k, rng, 0.0f, stddev);
+}
+
+SignHashes::SignHashes(const Matrix &x, size_t m, Rng &rng)
+    : m_(m), planes_(Matrix::randomNormal(x.cols(), m, rng))
+{
+    hashRows(x);
+}
+
+SignHashes::SignHashes(const Matrix &x, const Matrix &hyperplanes)
+    : m_(hyperplanes.cols()), planes_(hyperplanes)
+{
+    DOTA_ASSERT(x.cols() == planes_.rows(),
+                "hash input dim {} != hyperplane dim {}", x.cols(),
+                planes_.rows());
+    hashRows(x);
+}
+
+void
+SignHashes::hashRows(const Matrix &x)
+{
+    const size_t words = (m_ + 63) / 64;
+    hashes_.assign(x.rows(), std::vector<uint64_t>(words, 0));
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const float *row = x.row(r);
+        for (size_t b = 0; b < m_; ++b) {
+            double dot = 0.0;
+            for (size_t c = 0; c < x.cols(); ++c)
+                dot += static_cast<double>(row[c]) * planes_(c, b);
+            if (dot >= 0.0)
+                hashes_[r][b / 64] |= (uint64_t{1} << (b % 64));
+        }
+    }
+}
+
+uint32_t
+SignHashes::hamming(size_t i, size_t j) const
+{
+    uint32_t dist = 0;
+    for (size_t w = 0; w < hashes_[i].size(); ++w)
+        dist += static_cast<uint32_t>(
+            std::popcount(hashes_[i][w] ^ hashes_[j][w]));
+    return dist;
+}
+
+double
+SignHashes::similarity(size_t i, size_t j) const
+{
+    const double theta =
+        M_PI * static_cast<double>(hamming(i, j)) / static_cast<double>(m_);
+    return std::cos(theta);
+}
+
+double
+SignHashes::crossSimilarity(size_t qi, const SignHashes &keys,
+                            size_t kj) const
+{
+    DOTA_ASSERT(m_ == keys.m_, "hash width mismatch {} vs {}", m_, keys.m_);
+    uint32_t dist = 0;
+    for (size_t w = 0; w < hashes_[qi].size(); ++w)
+        dist += static_cast<uint32_t>(
+            std::popcount(hashes_[qi][w] ^ keys.hashes_[kj][w]));
+    const double theta =
+        M_PI * static_cast<double>(dist) / static_cast<double>(m_);
+    return std::cos(theta);
+}
+
+} // namespace dota

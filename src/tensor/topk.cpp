@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Implementation of row-wise selection kernels.
+ */
+#include "tensor/topk.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+
+namespace dota {
+
+std::vector<uint32_t>
+rowTopK(const Matrix &scores, size_t r, size_t k)
+{
+    const size_t n = scores.cols();
+    k = std::min(k, n);
+    std::vector<uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    const float *row = scores.row(r);
+    std::nth_element(idx.begin(), idx.begin() + static_cast<long>(k),
+                     idx.end(), [row](uint32_t a, uint32_t b) {
+                         if (row[a] != row[b])
+                             return row[a] > row[b];
+                         return a < b; // deterministic tie-break
+                     });
+    idx.resize(k);
+    return idx;
+}
+
+Matrix
+topkMask(const Matrix &scores, size_t k)
+{
+    Matrix mask(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r)
+        for (uint32_t c : rowTopK(scores, r, k))
+            mask(r, c) = 1.0f;
+    return mask;
+}
+
+Matrix
+topkMaskCausal(const Matrix &scores, size_t k)
+{
+    Matrix mask(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        const size_t visible = std::min(r + 1, scores.cols());
+        const size_t kk = std::min(k, visible);
+        // Select among columns [0, visible) only.
+        std::vector<uint32_t> idx(visible);
+        std::iota(idx.begin(), idx.end(), 0u);
+        const float *row = scores.row(r);
+        std::nth_element(idx.begin(), idx.begin() + static_cast<long>(kk),
+                         idx.end(), [row](uint32_t a, uint32_t b) {
+                             if (row[a] != row[b])
+                                 return row[a] > row[b];
+                             return a < b;
+                         });
+        for (size_t i = 0; i < kk; ++i)
+            mask(r, idx[i]) = 1.0f;
+    }
+    return mask;
+}
+
+Matrix
+thresholdMask(const Matrix &scores, float threshold)
+{
+    Matrix mask(scores.rows(), scores.cols());
+    for (size_t i = 0; i < scores.size(); ++i)
+        mask.data()[i] = scores.data()[i] >= threshold ? 1.0f : 0.0f;
+    return mask;
+}
+
+float
+thresholdForRetention(const Matrix &scores, double retention)
+{
+    DOTA_ASSERT(retention > 0.0 && retention <= 1.0,
+                "retention {} out of (0, 1]", retention);
+    std::vector<float> vals(scores.data(), scores.data() + scores.size());
+    const auto keep = std::max<size_t>(
+        1, static_cast<size_t>(retention *
+                               static_cast<double>(vals.size())));
+    std::nth_element(vals.begin(), vals.begin() + static_cast<long>(keep - 1),
+                     vals.end(), std::greater<float>());
+    return vals[keep - 1];
+}
+
+double
+maskDensity(const Matrix &mask)
+{
+    if (mask.empty())
+        return 0.0;
+    size_t nnz = 0;
+    for (size_t i = 0; i < mask.size(); ++i)
+        nnz += mask.data()[i] != 0.0f;
+    return static_cast<double>(nnz) / static_cast<double>(mask.size());
+}
+
+size_t
+maskRowCount(const Matrix &mask, size_t r)
+{
+    size_t nnz = 0;
+    const float *row = mask.row(r);
+    for (size_t c = 0; c < mask.cols(); ++c)
+        nnz += row[c] != 0.0f;
+    return nnz;
+}
+
+double
+attentionMassRecall(const Matrix &scaled_scores, const Matrix &mask)
+{
+    DOTA_ASSERT(scaled_scores.rows() == mask.rows() &&
+                    scaled_scores.cols() == mask.cols(),
+                "attentionMassRecall shape mismatch");
+    const Matrix probs = rowSoftmax(scaled_scores);
+    double total = 0.0;
+    for (size_t r = 0; r < probs.rows(); ++r) {
+        double kept = 0.0;
+        for (size_t c = 0; c < probs.cols(); ++c)
+            if (mask(r, c) != 0.0f)
+                kept += probs(r, c);
+        total += kept;
+    }
+    return total / static_cast<double>(probs.rows());
+}
+
+double
+topkRecall(const Matrix &exact, const Matrix &mask, size_t k)
+{
+    DOTA_ASSERT(exact.rows() == mask.rows() && exact.cols() == mask.cols(),
+                "topkRecall shape mismatch");
+    double total = 0.0;
+    for (size_t r = 0; r < exact.rows(); ++r) {
+        const auto truth = rowTopK(exact, r, k);
+        size_t hit = 0;
+        for (uint32_t c : truth)
+            hit += mask(r, c) != 0.0f;
+        total += static_cast<double>(hit) /
+                 static_cast<double>(std::min(k, exact.cols()));
+    }
+    return total / static_cast<double>(exact.rows());
+}
+
+} // namespace dota

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Row-wise top-k selection and thresholding over score matrices.
+ *
+ * These kernels implement the Detector's selection step (Section 3.1):
+ * given (estimated) attention scores, keep the k largest entries per row —
+ * the row-balance constraint of Section 4.3 falls out naturally because
+ * every row keeps exactly k connections — or compare against a preset
+ * threshold as the hardware comparator does.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace dota {
+
+/** Indices of the k largest entries of row @p r of @p scores (unsorted). */
+std::vector<uint32_t> rowTopK(const Matrix &scores, size_t r, size_t k);
+
+/**
+ * Row-balanced top-k selection: a 0/1 mask with exactly
+ * min(k, cols) ones per row. This is the DOTA selection rule.
+ */
+Matrix topkMask(const Matrix &scores, size_t k);
+
+/**
+ * Causal variant: row i may only select from columns 0..i. Each row keeps
+ * min(k, i+1) connections (decoder processing, Section 4.4).
+ */
+Matrix topkMaskCausal(const Matrix &scores, size_t k);
+
+/** Unbalanced thresholding: keep entries with score >= threshold. */
+Matrix thresholdMask(const Matrix &scores, float threshold);
+
+/**
+ * Find the global threshold whose mask retains approximately
+ * @p retention * size entries (used to map retention ratios onto the
+ * hardware comparator's preset threshold).
+ */
+float thresholdForRetention(const Matrix &scores, double retention);
+
+/** Fraction of nonzero entries in a 0/1 mask. */
+double maskDensity(const Matrix &mask);
+
+/** Number of nonzeros in row @p r of a 0/1 mask. */
+size_t maskRowCount(const Matrix &mask, size_t r);
+
+/**
+ * Detection quality metric: average over rows of
+ * |selected ∩ true top-k| / k, where "true" is taken from @p exact scores
+ * and "selected" from @p mask.
+ */
+double topkRecall(const Matrix &exact, const Matrix &mask, size_t k);
+
+/**
+ * Attention-mass recall: the fraction of each row's true softmax
+ * probability mass that falls on selected connections, averaged over
+ * rows. @p scaled_scores must already include the 1/sqrt(d_k) factor.
+ * This is the quantity omission actually loses — strict top-k overlap
+ * over-penalizes ties among near-uniform weak connections.
+ */
+double attentionMassRecall(const Matrix &scaled_scores, const Matrix &mask);
+
+} // namespace dota

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Definitions of the five paper benchmarks.
+ */
+#include "workloads/benchmark.hpp"
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+uint64_t
+ModelShape::linearMacs() const
+{
+    // Q, K, V projections plus the attention output projection: 4 * n*d*d.
+    return 4ull * seq_len * dim * dim;
+}
+
+uint64_t
+ModelShape::attentionMacs() const
+{
+    // S = QK^T and Z = A*V, per head n*n*hd, summed over heads: 2*n*n*d.
+    return 2ull * seq_len * seq_len * dim;
+}
+
+uint64_t
+ModelShape::ffnMacs() const
+{
+    return 2ull * seq_len * dim * ffn_dim;
+}
+
+uint64_t
+ModelShape::totalMacs() const
+{
+    return static_cast<uint64_t>(layers) *
+           (linearMacs() + attentionMacs() + ffnMacs());
+}
+
+namespace {
+
+TransformerConfig
+tinyConfig(size_t in_dim, size_t classes, uint64_t seed)
+{
+    TransformerConfig cfg;
+    cfg.in_dim = in_dim;
+    cfg.dim = 64;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.ffn_dim = 128;
+    cfg.classes = classes;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<Benchmark>
+makeBenchmarks()
+{
+    std::vector<Benchmark> out;
+
+    {
+        Benchmark b;
+        b.id = BenchmarkId::QA;
+        b.name = "QA";
+        b.description = "BERT-large on SQuAD v1.1 (question answering)";
+        b.paper_shape = {24, 1024, 16, 4096, 384, false};
+        b.retention_conservative = 0.10;
+        b.retention_aggressive = 0.06;
+        b.tiny = tinyConfig(24, 4, 11);
+        b.tiny_seq = 128;
+        out.push_back(b);
+    }
+    {
+        Benchmark b;
+        b.id = BenchmarkId::Image;
+        b.name = "Image";
+        b.description = "LRA image classification on CIFAR10 (n = 1K)";
+        b.paper_shape = {4, 256, 4, 1024, 1024, false};
+        b.retention_conservative = 0.05;
+        b.retention_aggressive = 0.03;
+        b.tiny = tinyConfig(16, 4, 22);
+        b.tiny_seq = 128;
+        out.push_back(b);
+    }
+    {
+        Benchmark b;
+        b.id = BenchmarkId::Text;
+        b.name = "Text";
+        b.description = "LRA text classification on IMDb (n = 2K)";
+        b.paper_shape = {4, 256, 4, 1024, 2048, false};
+        b.retention_conservative = 0.10;
+        b.retention_aggressive = 0.01;
+        b.tiny = tinyConfig(16, 2, 33);
+        b.tiny_seq = 128;
+        out.push_back(b);
+    }
+    {
+        Benchmark b;
+        b.id = BenchmarkId::Retrieval;
+        b.name = "Retrieval";
+        b.description = "LRA document retrieval on ACL-AAN (n = 4K)";
+        b.paper_shape = {4, 256, 4, 1024, 4096, false};
+        b.retention_conservative = 0.05;
+        b.retention_aggressive = 0.01;
+        b.tiny = tinyConfig(16, 2, 44);
+        // Cross-document matching needs one more hop of reasoning than
+        // the single-prototype tasks, and its (content-match) attention
+        // is higher-rank than prototype attention.
+        b.tiny.layers = 3;
+        b.tiny_sigma = 1.0;
+        b.tiny_seq = 128;
+        out.push_back(b);
+    }
+    {
+        Benchmark b;
+        b.id = BenchmarkId::LM;
+        b.name = "LM";
+        b.description = "GPT-2 causal LM on WikiText-103 (n = 4K)";
+        b.paper_shape = {12, 768, 12, 3072, 4096, true};
+        b.perplexity = true;
+        b.retention_conservative = 0.20;
+        b.retention_aggressive = 0.10;
+        b.tiny = tinyConfig(16, 2, 55); // vocab/max_seq set below
+        b.tiny.vocab = 64;
+        b.tiny.max_seq = 160;
+        b.tiny_seq = 128;
+        out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> benchmarks = makeBenchmarks();
+    return benchmarks;
+}
+
+const Benchmark &
+benchmark(BenchmarkId id)
+{
+    for (const Benchmark &b : allBenchmarks())
+        if (b.id == id)
+            return b;
+    DOTA_PANIC("unknown benchmark id");
+}
+
+const Benchmark &
+benchmarkByName(const std::string &name)
+{
+    for (const Benchmark &b : allBenchmarks())
+        if (b.name == name)
+            return b;
+    DOTA_FATAL("unknown benchmark '{}'; expected QA, Image, Text, "
+               "Retrieval, or LM", name);
+}
+
+} // namespace dota

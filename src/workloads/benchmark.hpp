@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's five evaluation benchmarks (Section 5.1) as configuration
+ * objects: QA (BERT-large / SQuAD, n=384), Image (LRA CIFAR10, n=1K),
+ * Text (LRA IMDb, n=2K), Retrieval (LRA AAN, n=4K) and LM (GPT-2 /
+ * WikiText-103, n=4K).
+ *
+ * Each benchmark carries two model descriptions:
+ *  - paper_shape: the full-size model the paper ran, used by the
+ *    performance/energy simulators (cycle counts need shapes, not
+ *    weights);
+ *  - tiny: a trainable proxy configuration used by the accuracy
+ *    experiments (see DESIGN.md §1 for the substitution rationale).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/transformer.hpp"
+
+namespace dota {
+
+/** Identifier for the five paper benchmarks. */
+enum class BenchmarkId { QA, Image, Text, Retrieval, LM };
+
+/** Architecture of a full-size transformer, for the simulators. */
+struct ModelShape
+{
+    size_t layers = 0;
+    size_t dim = 0;     ///< model dimension d
+    size_t heads = 0;
+    size_t ffn_dim = 0; ///< FFN hidden dimension
+    size_t seq_len = 0; ///< evaluation sequence length n
+    bool decoder = false;
+
+    size_t headDim() const { return dim / heads; }
+
+    /** MACs of the three encoder stages for one layer (dense attention). */
+    uint64_t linearMacs() const;    ///< QKV + output projection
+    uint64_t attentionMacs() const; ///< QK^T and A*V, dense
+    uint64_t ffnMacs() const;       ///< the two FC layers
+
+    /** Dense MACs of the whole model (all layers). */
+    uint64_t totalMacs() const;
+};
+
+/** One paper benchmark. */
+struct Benchmark
+{
+    BenchmarkId id;
+    std::string name;        ///< "QA", "Image", ...
+    std::string description; ///< dataset/model the paper used
+    ModelShape paper_shape;
+    bool perplexity = false; ///< metric is perplexity (lower better)
+
+    /** Retention ratios for the two operating points of Section 5.3. */
+    double retention_conservative = 0.1; ///< DOTA-C (<0.5% degradation)
+    double retention_aggressive = 0.05;  ///< DOTA-A (<1.5% degradation)
+
+    /** Trainable proxy for the accuracy experiments. */
+    TransformerConfig tiny;
+    size_t tiny_seq = 128; ///< proxy sequence length
+
+    /**
+     * Per-benchmark detector rank factor (Section 5.5: "each benchmark
+     * can use its own optimal sigma"). Retrieval's cross-document
+     * matching attention is higher-rank and needs a larger sigma.
+     */
+    double tiny_sigma = 0.5;
+};
+
+/** All five benchmarks in paper order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** Lookup a single benchmark. */
+const Benchmark &benchmark(BenchmarkId id);
+
+/** Benchmark by name ("QA", "Image", ...); fatal() on unknown. */
+const Benchmark &benchmarkByName(const std::string &name);
+
+} // namespace dota

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic attention-mask generation at paper-scale sequence lengths.
+ *
+ * The performance and energy experiments (Figures 12/13/15) need detected
+ * attention graphs for n up to 4096 — too large to obtain by training
+ * full-size models offline. Section 4.3 of the paper describes the two
+ * structural properties of real attention graphs the dataflow exploits:
+ * a few *important tokens* attended by many queries (shared/hub columns)
+ * and *windowed locality* around the diagonal. This module generates
+ * row-balanced sparse masks with those properties, with per-benchmark
+ * profiles; the test suite cross-checks the synthetic statistics against
+ * masks harvested from our trained tiny models.
+ */
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/sparse_mask.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace dota {
+
+/** Structural profile of a detected attention graph. */
+struct MaskProfile
+{
+    double retention = 0.1;  ///< per-row keep fraction (row-balanced)
+    double frac_local = 0.4; ///< fraction of keys inside the local window
+    double frac_hub = 0.3;   ///< fraction of keys on shared hub columns
+    size_t window = 32;      ///< half-width of the local window
+    size_t hub_count = 16;   ///< number of hub columns
+    double hub_zipf = 1.1;   ///< hub popularity skew (Zipf exponent)
+};
+
+/**
+ * Generate a row-balanced sparse mask with the given profile.
+ *
+ * @param n       sequence length (mask is n x n)
+ * @param profile structural knobs
+ * @param rng     randomness stream
+ * @param causal  restrict row i to columns [0, i] (decoder)
+ */
+SparseMask synthesizeMask(size_t n, const MaskProfile &profile, Rng &rng,
+                          bool causal = false);
+
+/** Calibrated profile for one paper benchmark at a given retention. */
+MaskProfile profileFor(BenchmarkId id, double retention);
+
+/** Measured structural statistics of a mask (used for calibration). */
+struct MaskStats
+{
+    double density = 0.0;         ///< nnz / n^2
+    double local_fraction = 0.0;  ///< keys within `window` of the diagonal
+    double top_column_share = 0.0;///< share of nnz on the hottest 1% cols
+    double group_reuse = 0.0;     ///< mean (sum of row sizes) / (distinct
+                                  ///< keys) over groups of `group` rows
+};
+
+/** Measure the statistics of @p mask (window/group as in Section 4.3). */
+MaskStats measureMask(const SparseMask &mask, size_t window = 32,
+                      size_t group = 4);
+
+} // namespace dota

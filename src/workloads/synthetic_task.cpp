@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Implementation of the synthetic tasks.
+ */
+#include "workloads/synthetic_task.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+SyntheticTask::SyntheticTask(TaskConfig cfg) : cfg_(cfg)
+{
+    DOTA_ASSERT(cfg_.in_dim >= 4, "task needs at least 4 feature dims");
+    if (cfg_.kind == TaskKind::Match)
+        cfg_.classes = 2;
+    Rng proto_rng(cfg_.seed);
+    // Prototypes occupy dims [1, in_dim); dim 0 is the signal marker.
+    const size_t payload = cfg_.in_dim - 1;
+    const size_t protos =
+        cfg_.kind == TaskKind::Match ? 8 : cfg_.classes;
+    prototypes_ = Matrix::randomNormal(protos, payload, proto_rng);
+    // Normalize prototypes to unit norm so tasks are equally hard across
+    // dimensions.
+    for (size_t r = 0; r < prototypes_.rows(); ++r) {
+        double norm = 0.0;
+        for (size_t c = 0; c < payload; ++c)
+            norm += static_cast<double>(prototypes_(r, c)) *
+                    prototypes_(r, c);
+        norm = std::sqrt(std::max(norm, 1e-12));
+        for (size_t c = 0; c < payload; ++c)
+            prototypes_(r, c) =
+                static_cast<float>(prototypes_(r, c) / norm);
+    }
+}
+
+size_t
+SyntheticTask::numClasses() const
+{
+    return cfg_.classes;
+}
+
+std::vector<size_t>
+SyntheticTask::placeSignals(size_t region_begin, size_t region_end,
+                            size_t count, Rng &rng) const
+{
+    const size_t span = region_end - region_begin;
+    count = std::min(count, span);
+    std::vector<size_t> positions;
+    if (rng.uniform() < cfg_.locality && span > count) {
+        // Clustered: contiguous-ish window around a random center.
+        const size_t window = std::min(span, count * 3);
+        const size_t start = region_begin +
+            static_cast<size_t>(rng.uniformInt(span - window + 1));
+        auto offs = rng.sampleWithoutReplacement(window, count);
+        positions.reserve(count);
+        for (size_t o : offs)
+            positions.push_back(start + o);
+    } else {
+        auto offs = rng.sampleWithoutReplacement(span, count);
+        positions.reserve(count);
+        for (size_t o : offs)
+            positions.push_back(region_begin + o);
+    }
+    std::sort(positions.begin(), positions.end());
+    return positions;
+}
+
+void
+SyntheticTask::writeSignal(Matrix &features, size_t pos, size_t proto,
+                           Rng &rng) const
+{
+    features(pos, 0) = static_cast<float>(cfg_.signal_strength);
+    for (size_t c = 1; c < cfg_.in_dim; ++c)
+        features(pos, c) = static_cast<float>(
+            cfg_.signal_strength * prototypes_(proto, c - 1) +
+            0.25 * cfg_.noise_std * rng.normal());
+}
+
+Sample
+SyntheticTask::sample(Rng &rng) const
+{
+    Sample s;
+    s.features = Matrix(cfg_.seq_len, cfg_.in_dim);
+    // Noise background.
+    for (size_t i = 0; i < s.features.size(); ++i)
+        s.features.data()[i] =
+            static_cast<float>(cfg_.noise_std * rng.normal());
+    // Background tokens carry no marker.
+    for (size_t i = 0; i < cfg_.seq_len; ++i)
+        s.features(i, 0) = 0.0f;
+
+    last_signal_.clear();
+    if (cfg_.kind == TaskKind::Prototype) {
+        const auto label = static_cast<size_t>(
+            rng.uniformInt(cfg_.classes));
+        const auto pos =
+            placeSignals(0, cfg_.seq_len, cfg_.signal_count, rng);
+        for (size_t p : pos)
+            writeSignal(s.features, p, label, rng);
+        last_signal_ = pos;
+        s.label = static_cast<int>(label);
+        if (cfg_.label_noise > 0.0 && rng.bernoulli(cfg_.label_noise))
+            s.label = static_cast<int>(rng.uniformInt(cfg_.classes));
+    } else { // Match
+        const size_t half = cfg_.seq_len / 2;
+        const bool match = rng.bernoulli(0.5);
+        const auto pa = static_cast<size_t>(
+            rng.uniformInt(prototypes_.rows()));
+        size_t pb = pa;
+        if (!match) {
+            do {
+                pb = static_cast<size_t>(
+                    rng.uniformInt(prototypes_.rows()));
+            } while (pb == pa);
+        }
+        const auto pos_a = placeSignals(0, half, cfg_.signal_count, rng);
+        const auto pos_b =
+            placeSignals(half, cfg_.seq_len, cfg_.signal_count, rng);
+        for (size_t p : pos_a)
+            writeSignal(s.features, p, pa, rng);
+        for (size_t p : pos_b)
+            writeSignal(s.features, p, pb, rng);
+        last_signal_ = pos_a;
+        last_signal_.insert(last_signal_.end(), pos_b.begin(),
+                            pos_b.end());
+        s.label = match ? 1 : 0;
+        if (cfg_.label_noise > 0.0 && rng.bernoulli(cfg_.label_noise))
+            s.label = static_cast<int>(rng.uniformInt(2));
+    }
+    return s;
+}
+
+std::vector<Sample>
+SyntheticTask::batch(size_t count, Rng &rng) const
+{
+    std::vector<Sample> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(sample(rng));
+    return out;
+}
+
+SyntheticGrammar::SyntheticGrammar(GrammarConfig cfg) : cfg_(cfg)
+{
+    DOTA_ASSERT(cfg_.vocab >= backbone_ + 2,
+                "vocab {} too small for grammar", cfg_.vocab);
+    // Sparse-ish random Markov backbone: each state prefers ~4 successors.
+    Rng rng(cfg_.seed);
+    cdf_.assign(backbone_, std::vector<double>(backbone_, 0.0));
+    for (size_t s = 0; s < backbone_; ++s) {
+        std::vector<double> w(backbone_, 0.01);
+        for (int j = 0; j < 4; ++j)
+            w[rng.uniformInt(backbone_)] += 1.0;
+        double total = 0.0;
+        for (double v : w)
+            total += v;
+        double acc = 0.0;
+        for (size_t j = 0; j < backbone_; ++j) {
+            acc += w[j] / total;
+            cdf_[s][j] = acc;
+        }
+    }
+}
+
+std::vector<int>
+SyntheticGrammar::sample(Rng &rng) const
+{
+    // Token layout: 0 = trigger, [1, 1+backbone) = backbone states,
+    // the rest of the vocab appears as rare "payload" tokens copied
+    // across triggers.
+    std::vector<int> seq;
+    seq.reserve(cfg_.seq_len);
+    size_t state = static_cast<size_t>(rng.uniformInt(backbone_));
+    int pending_copy = -1; // token that followed the previous trigger
+    size_t since_trigger = 0;
+    while (seq.size() < cfg_.seq_len) {
+        const bool fire =
+            since_trigger >= 4 &&
+            rng.bernoulli(1.0 / static_cast<double>(cfg_.period));
+        if (fire && seq.size() + 2 <= cfg_.seq_len) {
+            seq.push_back(triggerToken());
+            int payload;
+            if (pending_copy >= 0) {
+                payload = pending_copy; // long-range copy dependency
+            } else {
+                payload = static_cast<int>(
+                    1 + backbone_ +
+                    rng.uniformInt(cfg_.vocab - 1 - backbone_));
+                pending_copy = payload;
+            }
+            seq.push_back(payload);
+            since_trigger = 0;
+            continue;
+        }
+        // Backbone step.
+        const double u = rng.uniform();
+        size_t next = 0;
+        while (next + 1 < backbone_ && cdf_[state][next] < u)
+            ++next;
+        state = next;
+        seq.push_back(static_cast<int>(1 + state));
+        ++since_trigger;
+    }
+    return seq;
+}
+
+} // namespace dota

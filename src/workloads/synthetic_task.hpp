@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthetic long-sequence tasks with planted sparse-attention structure.
+ *
+ * These stand in for SQuAD / LRA / WikiText-103 (see DESIGN.md §1). Every
+ * task is constructed so that the label (or next token) depends on a small
+ * number of *signal* positions scattered through a long, mostly-noise
+ * sequence: a transformer solves it by attending to those positions, which
+ * makes its attention graphs genuinely sparse and input-dependent — the
+ * property DOTA's detector exploits. Task flavours mirror the structure of
+ * the paper's datasets:
+ *
+ *  - Prototype: a handful of marked tokens carry one of C class
+ *    prototypes; the label is the prototype index. Locality controls
+ *    whether signal tokens cluster (Image-like) or scatter (Text/QA-like).
+ *  - Match: signal tokens live in both halves of the sequence; the label
+ *    is whether the two halves carry the same prototype (Retrieval-like).
+ *  - Grammar (SyntheticGrammar): a token stream with long-range copy
+ *    dependencies for the causal-LM benchmark.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace dota {
+
+/** Flavour of classification task. */
+enum class TaskKind { Prototype, Match };
+
+/** Configuration of a synthetic classification task. */
+struct TaskConfig
+{
+    TaskKind kind = TaskKind::Prototype;
+    size_t seq_len = 128;
+    size_t in_dim = 16;        ///< token feature dimension
+    size_t classes = 4;        ///< Match tasks force this to 2
+    size_t signal_count = 6;   ///< signal tokens per sequence (per half
+                               ///< for Match)
+    double locality = 0.0;     ///< 0 = scattered, 1 = tightly clustered
+    double signal_strength = 3.0;
+    double noise_std = 1.0;
+    double label_noise = 0.0;  ///< probability of a uniformly random
+                               ///< label (keeps L_model > 0 at
+                               ///< convergence, like real data)
+    uint64_t seed = 7;         ///< fixes the class prototypes
+};
+
+/** One labeled sequence. */
+struct Sample
+{
+    Matrix features; ///< seq_len x in_dim
+    int label = 0;
+};
+
+/** Generator of labeled synthetic sequences. */
+class SyntheticTask
+{
+  public:
+    explicit SyntheticTask(TaskConfig cfg);
+
+    /** Draw one sample using @p rng. */
+    Sample sample(Rng &rng) const;
+
+    /** Draw @p count samples. */
+    std::vector<Sample> batch(size_t count, Rng &rng) const;
+
+    const TaskConfig &config() const { return cfg_; }
+    size_t numClasses() const;
+
+    /** Signal positions of the most recent sample (for tests). */
+    const std::vector<size_t> &lastSignalPositions() const
+    {
+        return last_signal_;
+    }
+
+  private:
+    std::vector<size_t> placeSignals(size_t region_begin, size_t region_end,
+                                     size_t count, Rng &rng) const;
+    void writeSignal(Matrix &features, size_t pos, size_t proto,
+                     Rng &rng) const;
+
+    TaskConfig cfg_;
+    Matrix prototypes_; ///< classes x (in_dim - 1) fixed per task
+    mutable std::vector<size_t> last_signal_;
+};
+
+/** Configuration of the synthetic LM grammar. */
+struct GrammarConfig
+{
+    size_t vocab = 64;
+    size_t seq_len = 128;
+    size_t period = 16; ///< average spacing between trigger tokens
+    uint64_t seed = 9;  ///< fixes the Markov backbone
+};
+
+/**
+ * Token stream with long-range copy dependencies: a Markov backbone over
+ * common tokens, plus trigger tokens; the token after each trigger repeats
+ * the token after the previous trigger. Predicting it well requires
+ * attending to the (arbitrarily distant) previous trigger.
+ */
+class SyntheticGrammar
+{
+  public:
+    explicit SyntheticGrammar(GrammarConfig cfg);
+
+    /** Draw one token sequence. */
+    std::vector<int> sample(Rng &rng) const;
+
+    const GrammarConfig &config() const { return cfg_; }
+
+    /** The trigger token id. */
+    int triggerToken() const { return 0; }
+
+  private:
+    GrammarConfig cfg_;
+    std::vector<std::vector<double>> cdf_; ///< per-state transition CDF
+    size_t backbone_ = 16; ///< number of common backbone tokens
+};
+
+} // namespace dota

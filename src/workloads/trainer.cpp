@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Implementation of the training loops.
+ */
+#include "workloads/trainer.hpp"
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+namespace {
+
+/** Scale every accumulated gradient by 1/batch. */
+void
+scaleGrads(const std::vector<Parameter *> &params, double inv_batch)
+{
+    for (Parameter *p : params)
+        for (size_t i = 0; i < p->grad.size(); ++i)
+            p->grad.data()[i] =
+                static_cast<float>(p->grad.data()[i] * inv_batch);
+}
+
+} // namespace
+
+ClassifierTrainer::ClassifierTrainer(TransformerClassifier &model,
+                                     const SyntheticTask &task,
+                                     TrainConfig cfg)
+    : model_(model), task_(task), cfg_(cfg)
+{
+    model_.collectParams(params_);
+}
+
+void
+ClassifierTrainer::addExtraParams(const std::vector<Parameter *> &params)
+{
+    params_.insert(params_.end(), params.begin(), params.end());
+}
+
+double
+ClassifierTrainer::train()
+{
+    Adam opt(params_, cfg_.adam);
+    Rng data_rng(cfg_.data_seed);
+    double last_loss = 0.0;
+    for (size_t step = 0; step < cfg_.steps; ++step) {
+        opt.zeroGrad();
+        double loss_sum = 0.0;
+        for (size_t b = 0; b < cfg_.batch; ++b) {
+            const Sample s = task_.sample(data_rng);
+            const Matrix logits = model_.forward(s.features);
+            Matrix dlogits;
+            loss_sum += softmaxCrossEntropy(logits, {s.label}, dlogits);
+            model_.backward(dlogits);
+        }
+        scaleGrads(params_, 1.0 / static_cast<double>(cfg_.batch));
+        opt.step();
+        last_loss = loss_sum / static_cast<double>(cfg_.batch);
+        if (step_cb_)
+            step_cb_(step);
+        if (cfg_.verbose && (step + 1) % cfg_.log_every == 0)
+            inform("step {}/{} loss {}", step + 1, cfg_.steps, last_loss);
+    }
+    return last_loss;
+}
+
+EvalResult
+ClassifierTrainer::evaluate(size_t samples, uint64_t seed) const
+{
+    Rng eval_rng(seed);
+    size_t hits = 0;
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < samples; ++i) {
+        const Sample s = task_.sample(eval_rng);
+        const Matrix logits = model_.forward(s.features);
+        Matrix dlogits;
+        loss_sum += softmaxCrossEntropy(logits, {s.label}, dlogits);
+        hits += rowArgmax(logits)[0] == s.label;
+    }
+    EvalResult res;
+    res.metric = static_cast<double>(hits) / static_cast<double>(samples);
+    res.loss = loss_sum / static_cast<double>(samples);
+    return res;
+}
+
+LMTrainer::LMTrainer(CausalLM &model, const SyntheticGrammar &grammar,
+                     TrainConfig cfg)
+    : model_(model), grammar_(grammar), cfg_(cfg)
+{
+    model_.collectParams(params_);
+}
+
+void
+LMTrainer::addExtraParams(const std::vector<Parameter *> &params)
+{
+    params_.insert(params_.end(), params.begin(), params.end());
+}
+
+double
+LMTrainer::train()
+{
+    Adam opt(params_, cfg_.adam);
+    Rng data_rng(cfg_.data_seed);
+    double last_loss = 0.0;
+    for (size_t step = 0; step < cfg_.steps; ++step) {
+        opt.zeroGrad();
+        double loss_sum = 0.0;
+        for (size_t b = 0; b < cfg_.batch; ++b)
+            loss_sum += model_.lmLoss(grammar_.sample(data_rng), true);
+        scaleGrads(params_, 1.0 / static_cast<double>(cfg_.batch));
+        opt.step();
+        last_loss = loss_sum / static_cast<double>(cfg_.batch);
+        if (cfg_.verbose && (step + 1) % cfg_.log_every == 0)
+            inform("LM step {}/{} loss {}", step + 1, cfg_.steps,
+                   last_loss);
+    }
+    return last_loss;
+}
+
+EvalResult
+LMTrainer::evaluate(size_t samples, uint64_t seed) const
+{
+    Rng eval_rng(seed);
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < samples; ++i)
+        loss_sum += model_.lmLoss(grammar_.sample(eval_rng), false);
+    EvalResult res;
+    res.loss = loss_sum / static_cast<double>(samples);
+    res.metric = perplexityFromLoss(res.loss);
+    return res;
+}
+
+} // namespace dota

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Training and evaluation loops for the synthetic-task models.
+ *
+ * The trainers implement the paper's two-phase recipe: pre-train a dense
+ * model, then "model adaptation" — continue training with the detector
+ * hook installed so the model adapts to sparse attention while the
+ * detector's parameters (passed in as extra parameters) are jointly
+ * optimized (Section 3.2).
+ */
+#pragma once
+
+#include <functional>
+
+#include "nn/transformer.hpp"
+#include "workloads/synthetic_task.hpp"
+
+namespace dota {
+
+/** Training-loop configuration. */
+struct TrainConfig
+{
+    size_t steps = 300;        ///< optimizer steps
+    size_t batch = 8;          ///< sequences per step (grad accumulation)
+    uint64_t data_seed = 123;  ///< training-stream seed
+    AdamConfig adam;
+    bool verbose = false;
+    size_t log_every = 100;
+};
+
+/** Evaluation outcome. */
+struct EvalResult
+{
+    double metric = 0.0; ///< accuracy (classifier) or perplexity (LM)
+    double loss = 0.0;   ///< mean cross-entropy
+};
+
+/** Trainer for TransformerClassifier on a SyntheticTask. */
+class ClassifierTrainer
+{
+  public:
+    ClassifierTrainer(TransformerClassifier &model,
+                      const SyntheticTask &task, TrainConfig cfg);
+
+    /**
+     * Jointly optimize additional parameters (e.g. the Detector's) with
+     * the model. Must be called before train().
+     */
+    void addExtraParams(const std::vector<Parameter *> &params);
+
+    /** Poll called once per step with the step index (for aux losses). */
+    void setStepCallback(std::function<void(size_t)> cb)
+    {
+        step_cb_ = std::move(cb);
+    }
+
+    /** Run the configured number of steps; returns final mean loss. */
+    double train();
+
+    /** Deterministic held-out evaluation (same seed -> same set). */
+    EvalResult evaluate(size_t samples, uint64_t seed = 4242) const;
+
+  private:
+    TransformerClassifier &model_;
+    const SyntheticTask &task_;
+    TrainConfig cfg_;
+    std::vector<Parameter *> params_;
+    std::function<void(size_t)> step_cb_;
+};
+
+/** Trainer for CausalLM on a SyntheticGrammar. */
+class LMTrainer
+{
+  public:
+    LMTrainer(CausalLM &model, const SyntheticGrammar &grammar,
+              TrainConfig cfg);
+
+    void addExtraParams(const std::vector<Parameter *> &params);
+
+    double train();
+
+    /** Perplexity on a deterministic held-out stream. */
+    EvalResult evaluate(size_t samples, uint64_t seed = 4242) const;
+
+  private:
+    CausalLM &model_;
+    const SyntheticGrammar &grammar_;
+    TrainConfig cfg_;
+    std::vector<Parameter *> params_;
+};
+
+} // namespace dota

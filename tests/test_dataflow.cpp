@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the dataflow analysis layer above the schedulers.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/dataflow.hpp"
+#include "workloads/mask_synth.hpp"
+
+namespace dota {
+namespace {
+
+TEST(Dataflow, Names)
+{
+    EXPECT_EQ(dataflowName(Dataflow::RowByRow), "row-by-row");
+    EXPECT_EQ(dataflowName(Dataflow::TokenParallelOoO),
+              "token-parallel (out-of-order)");
+}
+
+TEST(Dataflow, ValueTrafficMirrorsKeys)
+{
+    // Section 4.3: the computation order is reused for A*V.
+    const auto stats =
+        analyzeDataflow(figure9Mask(), Dataflow::TokenParallelOoO, 4);
+    EXPECT_EQ(stats.value_loads, stats.key_loads);
+}
+
+TEST(Dataflow, IdealLoadsAreDistinctKeysPerGroup)
+{
+    const auto stats =
+        analyzeDataflow(figure9Mask(), Dataflow::TokenParallelOoO, 4);
+    EXPECT_EQ(stats.ideal_loads, 6u); // k1..k6 all used by the group
+}
+
+TEST(Dataflow, UtilizationOneForBalanced)
+{
+    Rng rng(171);
+    MaskProfile p;
+    p.retention = 0.125;
+    const SparseMask m = synthesizeMask(64, p, rng);
+    const auto stats = analyzeDataflow(m, Dataflow::TokenParallelOoO, 4);
+    EXPECT_DOUBLE_EQ(stats.utilization, 1.0);
+}
+
+TEST(Dataflow, HigherParallelismReducesLoads)
+{
+    Rng rng(172);
+    const MaskProfile p = profileFor(BenchmarkId::Text, 0.1);
+    const SparseMask m = synthesizeMask(256, p, rng);
+    uint64_t prev = m.nnz() + 1;
+    for (size_t t : {1u, 2u, 4u, 8u}) {
+        const auto stats =
+            analyzeDataflow(m, Dataflow::TokenParallelOoO, t);
+        EXPECT_LE(stats.key_loads, prev) << "t=" << t;
+        prev = stats.key_loads;
+    }
+}
+
+TEST(Dataflow, OoOBeatsInOrderOnStructuredMasks)
+{
+    Rng rng(173);
+    const MaskProfile p = profileFor(BenchmarkId::Text, 0.1);
+    const SparseMask m = synthesizeMask(512, p, rng);
+    const auto ooo = analyzeDataflow(m, Dataflow::TokenParallelOoO, 4);
+    const auto ino =
+        analyzeDataflow(m, Dataflow::TokenParallelInOrder, 4);
+    const auto rbr = analyzeDataflow(m, Dataflow::RowByRow);
+    EXPECT_LT(ooo.key_loads, ino.key_loads);
+    EXPECT_LT(ino.key_loads, rbr.key_loads);
+}
+
+TEST(Dataflow, RoundsMatchBalancedK)
+{
+    Rng rng(174);
+    MaskProfile p;
+    p.retention = 0.1;
+    const SparseMask m = synthesizeMask(64, p, rng);
+    const size_t k = m.row(0).size();
+    const auto stats = analyzeDataflow(m, Dataflow::TokenParallelOoO, 4);
+    EXPECT_EQ(stats.rounds, k * (64 / 4));
+}
+
+} // namespace
+} // namespace dota

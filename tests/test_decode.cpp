@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for incremental (KV-cached) decoding: exact equivalence with
+ * the full causal forward, retention behaviour, and generation.
+ */
+#include <gtest/gtest.h>
+
+#include "nn/decode.hpp"
+#include "workloads/synthetic_task.hpp"
+#include "workloads/trainer.hpp"
+
+namespace dota {
+namespace {
+
+TransformerConfig
+lmCfg()
+{
+    TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.ffn_dim = 32;
+    cfg.vocab = 20;
+    cfg.max_seq = 40;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(KvCache, AppendGrows)
+{
+    KvCache cache;
+    EXPECT_EQ(cache.length(), 0u);
+    Matrix k(1, 4, 1.0f), v(1, 4, 2.0f);
+    cache.append(k, v);
+    cache.append(k, v);
+    EXPECT_EQ(cache.length(), 2u);
+    EXPECT_FLOAT_EQ(cache.k(1, 3), 1.0f);
+    EXPECT_FLOAT_EQ(cache.v(0, 0), 2.0f);
+}
+
+TEST(Decode, MatchesFullForwardDense)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> ids{3, 7, 1, 12, 5, 9, 0, 4};
+    const Matrix full = model.forward(ids);
+
+    DecodeState state;
+    state.reset(model.config().layers);
+    for (size_t t = 0; t < ids.size(); ++t) {
+        const Matrix logits = decodeStep(model, state, ids[t]);
+        ASSERT_EQ(logits.rows(), 1u);
+        for (size_t c = 0; c < logits.cols(); ++c)
+            EXPECT_NEAR(logits(0, c), full(t, c), 2e-4)
+                << "position " << t << " class " << c;
+    }
+}
+
+TEST(Decode, StateTracksPosition)
+{
+    CausalLM model(lmCfg());
+    DecodeState state;
+    state.reset(2);
+    decodeStep(model, state, 1);
+    decodeStep(model, state, 2);
+    EXPECT_EQ(state.position, 2u);
+    EXPECT_EQ(state.layers[0].length(), 2u);
+    EXPECT_EQ(state.layers[1].length(), 2u);
+}
+
+TEST(Decode, RetentionLimitsConnections)
+{
+    // With retention well below 1, later tokens attend to fewer cached
+    // keys; the output must still be finite and differ from dense.
+    CausalLM model(lmCfg());
+    const std::vector<int> ids{3, 7, 1, 12, 5, 9, 0, 4, 2, 6};
+    DecodeState dense_state, sparse_state;
+    dense_state.reset(2);
+    sparse_state.reset(2);
+    Matrix dense_logits, sparse_logits;
+    for (int tok : ids) {
+        dense_logits = decodeStep(model, dense_state, tok, 1.0);
+        sparse_logits = decodeStep(model, sparse_state, tok, 0.2);
+    }
+    EXPECT_FALSE(
+        Matrix::allClose(dense_logits, sparse_logits, 1e-6));
+    for (size_t c = 0; c < sparse_logits.cols(); ++c)
+        EXPECT_TRUE(std::isfinite(sparse_logits(0, c)));
+}
+
+TEST(Decode, OverflowFatal)
+{
+    TransformerConfig cfg = lmCfg();
+    cfg.max_seq = 3;
+    CausalLM model(cfg);
+    DecodeState state;
+    state.reset(cfg.layers);
+    decodeStep(model, state, 1);
+    decodeStep(model, state, 1);
+    decodeStep(model, state, 1);
+    EXPECT_DEATH(decodeStep(model, state, 1), "exceeds max_seq");
+}
+
+TEST(Generate, GreedyDeterministic)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> prefix{3, 7, 1};
+    const auto a = generate(model, prefix, 6, 1.0, 0.0);
+    const auto b = generate(model, prefix, 6, 1.0, 0.0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 6u);
+    for (int t : a) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, 20);
+    }
+}
+
+TEST(Generate, GreedyMatchesFullForwardArgmax)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> prefix{3, 7, 1, 12};
+    const auto gen = generate(model, prefix, 1, 1.0, 0.0);
+    const Matrix full = model.forward(prefix);
+    EXPECT_EQ(gen[0], rowArgmax(full)[prefix.size() - 1]);
+}
+
+TEST(Generate, SamplingSeedControlled)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> prefix{3, 7};
+    const auto a = generate(model, prefix, 8, 1.0, 1.0, /*seed=*/42);
+    const auto b = generate(model, prefix, 8, 1.0, 1.0, /*seed=*/42);
+    const auto c = generate(model, prefix, 8, 1.0, 1.0, /*seed=*/43);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c); // overwhelmingly likely for 8 near-uniform draws
+}
+
+TEST(Generate, StopsAtMaxSeq)
+{
+    TransformerConfig cfg = lmCfg();
+    cfg.max_seq = 6;
+    CausalLM model(cfg);
+    const auto out = generate(model, {1, 2, 3}, 10);
+    EXPECT_LE(out.size() + 3, 7u); // prefix + generated <= max_seq + 1
+}
+
+TEST(Generate, TrainedGrammarCopiesPayload)
+{
+    // Train briefly on the copy grammar and check KV-cached generation
+    // honours the long-range dependency, as in the lm_generation
+    // example but through the incremental path.
+    TransformerConfig cfg = lmCfg();
+    cfg.vocab = 64;
+    cfg.max_seq = 80;
+    cfg.dim = 32;
+    cfg.ffn_dim = 64;
+    CausalLM model(cfg);
+    GrammarConfig gc;
+    gc.seq_len = 64;
+    gc.vocab = 64;
+    gc.period = 6; // dense triggers: the copy rule dominates the loss
+    SyntheticGrammar grammar(gc);
+    LMTrainer trainer(model, grammar, [] {
+        TrainConfig t;
+        t.steps = 250;
+        t.batch = 4;
+        return t;
+    }());
+    trainer.train();
+
+    // Robust statistical check: the probability the model assigns to
+    // the copied payload right after a trigger must be far above the
+    // ~1/47 uniform share over payload tokens (the tiny model's argmax
+    // is not always right this early in training, but its probability
+    // mass shifts decisively).
+    Rng rng(7);
+    double payload_prob = 0.0;
+    int trials = 0;
+    while (trials < 8) {
+        auto prefix = grammar.sample(rng);
+        prefix.resize(40);
+        int payload = -1;
+        for (size_t i = 0; i + 1 < prefix.size(); ++i)
+            if (prefix[i] == grammar.triggerToken())
+                payload = prefix[i + 1];
+        if (payload < 0)
+            continue; // no trigger landed in this prefix; redraw
+        prefix.push_back(grammar.triggerToken());
+        DecodeState state;
+        state.reset(model.config().layers);
+        Matrix logits;
+        for (int tok : prefix)
+            logits = decodeStep(model, state, tok);
+        const Matrix probs = rowSoftmax(logits);
+        payload_prob += probs(0, static_cast<size_t>(payload));
+        ++trials;
+    }
+    payload_prob /= trials;
+    EXPECT_GT(payload_prob, 2.0 / 47.0)
+        << "no long-range copy signal learned";
+}
+
+} // namespace
+} // namespace dota

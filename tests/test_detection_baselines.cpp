@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the oracle and ELSA detection baselines plus the detection
+ * quality metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "detect/elsa_detector.hpp"
+#include "detect/metrics.hpp"
+#include "detect/oracle_detector.hpp"
+#include "workloads/synthetic_task.hpp"
+
+namespace dota {
+namespace {
+
+TEST(Oracle, PerfectTopkRecall)
+{
+    OracleDetector oracle(0.25);
+    Rng rng(151);
+    const Matrix q = Matrix::randomNormal(12, 8, rng);
+    const Matrix k = Matrix::randomNormal(12, 8, rng);
+    oracle.observeQK(0, 0, q, k);
+    const Matrix mask = oracle.selectMask(0, 0, false);
+    const Matrix scores = matmulBT(q, k);
+    EXPECT_DOUBLE_EQ(topkRecall(scores, mask, 3), 1.0);
+}
+
+TEST(Oracle, CausalSelection)
+{
+    OracleDetector oracle(0.5);
+    Rng rng(152);
+    const Matrix q = Matrix::randomNormal(8, 4, rng);
+    const Matrix k = Matrix::randomNormal(8, 4, rng);
+    oracle.observeQK(0, 0, q, k);
+    const Matrix mask = oracle.selectMask(0, 0, true);
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = r + 1; c < 8; ++c)
+            EXPECT_FLOAT_EQ(mask(r, c), 0.0f);
+}
+
+TEST(Oracle, RetentionAdjustable)
+{
+    OracleDetector oracle(0.1);
+    EXPECT_DOUBLE_EQ(oracle.retention(), 0.1);
+    oracle.setRetention(0.3);
+    Rng rng(153);
+    const Matrix q = Matrix::randomNormal(10, 4, rng);
+    const Matrix k = Matrix::randomNormal(10, 4, rng);
+    oracle.observeQK(0, 0, q, k);
+    const Matrix mask = oracle.selectMask(0, 0, false);
+    EXPECT_NEAR(maskDensity(mask), 0.3, 1e-9);
+}
+
+TEST(Elsa, MaskDensityMatchesRetention)
+{
+    ElsaDetectorConfig cfg;
+    cfg.retention = 0.25;
+    ElsaDetector elsa(cfg);
+    Rng rng(154);
+    const Matrix q = Matrix::randomNormal(16, 8, rng);
+    const Matrix k = Matrix::randomNormal(16, 8, rng);
+    elsa.observeQK(0, 0, q, k);
+    const Matrix mask = elsa.selectMask(0, 0, false);
+    EXPECT_NEAR(maskDensity(mask), 0.25, 1e-9);
+}
+
+TEST(Elsa, BeatsRandomSelection)
+{
+    ElsaDetectorConfig cfg;
+    cfg.retention = 0.25;
+    cfg.hash_bits = 64;
+    ElsaDetector elsa(cfg);
+    Rng rng(155);
+    double elsa_recall = 0.0, random_recall = 0.0;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+        const Matrix q = Matrix::randomNormal(24, 16, rng);
+        const Matrix k = Matrix::randomNormal(24, 16, rng);
+        elsa.observeQK(0, 0, q, k);
+        const Matrix mask = elsa.selectMask(0, 0, false);
+        const Matrix scores = matmulBT(q, k);
+        elsa_recall += topkRecall(scores, mask, 6);
+        // Random mask with the same density for contrast.
+        const Matrix rnd = topkMask(Matrix::randomNormal(24, 24, rng), 6);
+        random_recall += topkRecall(scores, rnd, 6);
+    }
+    EXPECT_GT(elsa_recall / trials, random_recall / trials + 0.15);
+}
+
+TEST(Elsa, MoreHashBitsBetterRecall)
+{
+    Rng data_rng(156);
+    const Matrix q = Matrix::randomNormal(32, 16, data_rng);
+    const Matrix k = Matrix::randomNormal(32, 16, data_rng);
+    const Matrix scores = matmulBT(q, k);
+    double recall_small = 0.0, recall_large = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        ElsaDetectorConfig small;
+        small.hash_bits = 8;
+        small.retention = 0.25;
+        small.seed = 100 + seed;
+        ElsaDetector e_small(small);
+        e_small.observeQK(0, 0, q, k);
+        recall_small +=
+            topkRecall(scores, e_small.selectMask(0, 0, false), 8);
+
+        ElsaDetectorConfig large = small;
+        large.hash_bits = 256;
+        ElsaDetector e_large(large);
+        e_large.observeQK(0, 0, q, k);
+        recall_large +=
+            topkRecall(scores, e_large.selectMask(0, 0, false), 8);
+    }
+    EXPECT_GT(recall_large, recall_small);
+}
+
+TEST(Elsa, TrainingFreeInterface)
+{
+    ElsaDetector elsa(ElsaDetectorConfig{});
+    EXPECT_TRUE(elsa.scoreGradient(0, 0).empty());
+}
+
+TEST(Metrics, OracleScoresPerfectOnModel)
+{
+    TransformerConfig mc;
+    mc.in_dim = 8;
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 1;
+    mc.ffn_dim = 32;
+    mc.classes = 2;
+    TransformerClassifier model(mc);
+    TaskConfig tc;
+    tc.seq_len = 20;
+    tc.in_dim = 8;
+    tc.classes = 2;
+    SyntheticTask task(tc);
+    OracleDetector oracle(0.25);
+    const auto q = evaluateDetection(model, task, oracle, 3, 0.25);
+    EXPECT_NEAR(q.recall, 1.0, 1e-9);
+    EXPECT_NEAR(q.density, 0.25, 1e-9);
+    // The model is untrained, so attention is near-uniform; perfect
+    // top-k still beats the uniform 0.25 share.
+    EXPECT_GT(q.mass_recall, 0.3);
+}
+
+TEST(Metrics, HarvestMasksShapes)
+{
+    TransformerConfig mc;
+    mc.in_dim = 8;
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 2;
+    mc.ffn_dim = 32;
+    mc.classes = 2;
+    TransformerClassifier model(mc);
+    OracleDetector oracle(0.2);
+    model.setHook(&oracle);
+    Rng rng(157);
+    model.forward(Matrix::randomNormal(10, 8, rng));
+    model.setHook(nullptr);
+    const auto masks = harvestMasks(model);
+    ASSERT_EQ(masks.size(), 4u); // 2 layers x 2 heads
+    for (const SparseMask &m : masks) {
+        EXPECT_EQ(m.rows(), 10u);
+        EXPECT_EQ(m.row(0).size(), 2u); // 20% of 10
+    }
+}
+
+} // namespace
+} // namespace dota

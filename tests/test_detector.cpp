@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the DOTA detector: estimation, selection, quantization, and
+ * the joint-optimization gradients.
+ */
+#include <gtest/gtest.h>
+
+#include "detect/detector.hpp"
+#include "detect/pipeline.hpp"
+#include "nn/gradcheck.hpp"
+#include "workloads/synthetic_task.hpp"
+
+namespace dota {
+namespace {
+
+TransformerConfig
+modelCfg()
+{
+    TransformerConfig cfg;
+    cfg.in_dim = 8;
+    cfg.dim = 32;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.ffn_dim = 64;
+    cfg.classes = 2;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(Detector, RankFollowsSigma)
+{
+    DetectorConfig dc;
+    dc.sigma = 0.25;
+    DotaDetector det(modelCfg(), dc); // head_dim = 16
+    EXPECT_EQ(det.rank(), 4u);
+    dc.sigma = 0.5;
+    DotaDetector det2(modelCfg(), dc);
+    EXPECT_EQ(det2.rank(), 8u);
+    dc.sigma = 0.001;
+    DotaDetector det3(modelCfg(), dc);
+    EXPECT_EQ(det3.rank(), 1u); // clamped to at least 1
+}
+
+TEST(Detector, KeepCount)
+{
+    DetectorConfig dc;
+    dc.retention = 0.1;
+    DotaDetector det(modelCfg(), dc);
+    EXPECT_EQ(det.keepCount(100), 10u);
+    EXPECT_EQ(det.keepCount(5), 1u); // at least one connection
+}
+
+TEST(Detector, MaskIsRowBalancedTopk)
+{
+    DetectorConfig dc;
+    dc.retention = 0.25;
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(131);
+    const Matrix x = Matrix::randomNormal(16, 32, rng);
+    det.beginLayer(0, x);
+    const Matrix mask = det.selectMask(0, 0, /*causal=*/false);
+    ASSERT_EQ(mask.rows(), 16u);
+    for (size_t r = 0; r < 16; ++r)
+        EXPECT_EQ(maskRowCount(mask, r), 4u);
+}
+
+TEST(Detector, CausalMask)
+{
+    DetectorConfig dc;
+    dc.retention = 0.5;
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(132);
+    const Matrix x = Matrix::randomNormal(10, 32, rng);
+    det.beginLayer(1, x);
+    const Matrix mask = det.selectMask(1, 1, /*causal=*/true);
+    for (size_t r = 0; r < 10; ++r)
+        for (size_t c = r + 1; c < 10; ++c)
+            EXPECT_FLOAT_EQ(mask(r, c), 0.0f);
+}
+
+TEST(Detector, ThresholdModeRespectsThreshold)
+{
+    DetectorConfig dc;
+    dc.use_threshold = true;
+    dc.threshold = 1e9f; // nothing passes
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(133);
+    const Matrix x = Matrix::randomNormal(8, 32, rng);
+    det.beginLayer(0, x);
+    const Matrix mask = det.selectMask(0, 0, false);
+    EXPECT_DOUBLE_EQ(maskDensity(mask), 0.0);
+}
+
+TEST(Detector, WarmupModeReturnsEmptyMask)
+{
+    DetectorConfig dc;
+    dc.apply_mask = false;
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(134);
+    const Matrix x = Matrix::randomNormal(8, 32, rng);
+    det.beginLayer(0, x);
+    EXPECT_TRUE(det.selectMask(0, 0, false).empty());
+    // The estimate is still produced for training.
+    EXPECT_FALSE(det.lastEstimate(0, 0).empty());
+}
+
+TEST(Detector, EstimateShapes)
+{
+    DotaDetector det(modelCfg(), DetectorConfig{});
+    Rng rng(135);
+    const Matrix x = Matrix::randomNormal(12, 32, rng);
+    const Matrix est = det.estimateScores(0, 1, x);
+    EXPECT_EQ(est.rows(), 12u);
+    EXPECT_EQ(est.cols(), 12u);
+}
+
+TEST(Detector, QuantizedEstimateTracksFloat)
+{
+    DetectorConfig fp;
+    fp.quantize = false;
+    DetectorConfig q8;
+    q8.quantize = true;
+    q8.bits = 8;
+    DotaDetector dfp(modelCfg(), fp), d8(modelCfg(), q8);
+    Rng rng(136);
+    const Matrix x = Matrix::randomNormal(10, 32, rng);
+    const Matrix efp = dfp.estimateScores(0, 0, x);
+    const Matrix e8 = d8.estimateScores(0, 0, x);
+    // INT8 detection keeps the relative ordering close to float:
+    // compare the selected masks rather than raw values.
+    const Matrix mfp = topkMask(efp, 3);
+    const Matrix m8 = topkMask(e8, 3);
+    size_t agree = 0;
+    for (size_t i = 0; i < mfp.size(); ++i)
+        agree += mfp.data()[i] == m8.data()[i];
+    EXPECT_GT(static_cast<double>(agree) / mfp.size(), 0.9);
+}
+
+TEST(Detector, MseLossAccumulatesAndResets)
+{
+    DotaDetector det(modelCfg(), DetectorConfig{});
+    Rng rng(137);
+    const Matrix x = Matrix::randomNormal(8, 32, rng);
+    det.beginLayer(0, x);
+    det.selectMask(0, 0, false);
+    const Matrix s_true = Matrix::randomNormal(8, 8, rng);
+    det.observeScores(0, 0, s_true);
+    const double loss = det.consumeMseLoss();
+    EXPECT_GT(loss, 0.0);
+    EXPECT_DOUBLE_EQ(det.consumeMseLoss(), 0.0); // reset
+}
+
+TEST(Detector, ScoreGradientDirection)
+{
+    // dL/dS = -2 lambda (S~ - S)/N : pushes S toward S~.
+    DetectorConfig dc;
+    dc.lambda = 2.0;
+    dc.quantize = false;
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(138);
+    const Matrix x = Matrix::randomNormal(6, 32, rng);
+    det.beginLayer(0, x);
+    det.selectMask(0, 0, false);
+    const Matrix est = det.lastEstimate(0, 0);
+    const Matrix s_true(6, 6, 0.0f);
+    det.observeScores(0, 0, s_true);
+    const Matrix g = det.scoreGradient(0, 0);
+    ASSERT_EQ(g.rows(), 6u);
+    const float coef = 2.0f * 2.0f / 36.0f;
+    for (size_t i = 0; i < g.size(); ++i)
+        EXPECT_NEAR(g.data()[i], -coef * est.data()[i], 1e-5);
+}
+
+TEST(Detector, NoGradientWhenTrainingDisabled)
+{
+    DetectorConfig dc;
+    dc.train = false;
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(139);
+    const Matrix x = Matrix::randomNormal(6, 32, rng);
+    det.beginLayer(0, x);
+    det.selectMask(0, 0, false);
+    det.observeScores(0, 0, Matrix(6, 6));
+    EXPECT_TRUE(det.scoreGradient(0, 0).empty());
+    std::vector<Parameter *> ps;
+    det.collectParams(ps);
+    for (Parameter *p : ps)
+        EXPECT_DOUBLE_EQ(p->grad.frobeniusNorm(), 0.0);
+}
+
+TEST(Detector, ParamGradientFiniteDifference)
+{
+    DetectorConfig dc;
+    dc.quantize = false; // smooth path for numeric differentiation
+    dc.lambda = 1.0;
+    DotaDetector det(modelCfg(), dc);
+    Rng rng(140);
+    const Matrix x = Matrix::randomNormal(5, 32, rng);
+    const Matrix s_true = Matrix::randomNormal(5, 5, rng);
+
+    std::vector<Parameter *> ps;
+    det.collectParams(ps);
+    Parameter *wq0 = ps[0];
+    wq0->zeroGrad();
+    det.beginLayer(0, x);
+    det.selectMask(0, 0, false);
+    det.observeScores(0, 0, s_true);
+
+    auto loss = [&]() {
+        const Matrix est = det.estimateScores(0, 0, x);
+        return mse(est, s_true); // lambda = 1, mean-squared form
+    };
+    Rng probe(7);
+    const auto res = checkGradient(loss, *wq0, 6, 1e-3, probe);
+    EXPECT_LT(res.max_rel_err, 5e-2);
+}
+
+TEST(Detector, ParamCount)
+{
+    DetectorConfig dc;
+    dc.sigma = 0.25; // k = 4
+    DotaDetector det(modelCfg(), dc);
+    std::vector<Parameter *> ps;
+    det.collectParams(ps);
+    // 2 layers x 2 heads x (W~Q + W~K) of 4x4 each.
+    EXPECT_EQ(ps.size(), 8u);
+    size_t total = 0;
+    for (Parameter *p : ps)
+        total += p->value.size();
+    EXPECT_EQ(total, 8u * 16u);
+}
+
+TEST(DetectorPipeline, WarmupReducesEstimationLoss)
+{
+    TransformerConfig mc = modelCfg();
+    TransformerClassifier model(mc);
+    TaskConfig tc;
+    tc.seq_len = 24;
+    tc.in_dim = mc.in_dim;
+    tc.classes = 2;
+    SyntheticTask task(tc);
+
+    DetectorConfig dc;
+    dc.sigma = 0.5;
+    DotaDetector det(mc, dc);
+
+    // Measure initial loss with a single probe forward.
+    det.config().apply_mask = false;
+    det.config().train = false;
+    model.setHook(&det);
+    Rng rng(141);
+    det.consumeMseLoss();
+    model.forward(task.sample(rng).features);
+    const double before = det.consumeMseLoss();
+    model.setHook(nullptr);
+
+    warmupDetector(model, task, det, 30, 2, 5e-3);
+
+    det.config().apply_mask = false;
+    det.config().train = false;
+    model.setHook(&det);
+    model.forward(task.sample(rng).features);
+    const double after = det.consumeMseLoss();
+    model.setHook(nullptr);
+    EXPECT_LT(after, 0.8 * before);
+}
+
+} // namespace
+} // namespace dota

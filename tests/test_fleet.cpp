@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the scale-out fleet simulator (Section 4.1).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/fleet.hpp"
+
+namespace dota {
+namespace {
+
+FleetSimulator
+makeFleet(size_t accelerators, DotaMode mode = DotaMode::Conservative)
+{
+    FleetConfig fc;
+    fc.accelerators = accelerators;
+    SimOptions opt;
+    opt.mode = mode;
+    return FleetSimulator(fc, benchmark(BenchmarkId::Text), opt);
+}
+
+TEST(Fleet, SingleAcceleratorSerializes)
+{
+    FleetSimulator fleet = makeFleet(1);
+    const std::vector<size_t> lens{512, 1024, 768};
+    const FleetReport r = fleet.run(lens);
+    double sum = 0.0;
+    for (size_t n : lens)
+        sum += fleet.sequenceLatencyMs(n);
+    EXPECT_NEAR(r.makespan_ms, sum, 1e-9);
+    EXPECT_NEAR(r.utilization, 1.0, 1e-9);
+    EXPECT_EQ(r.accel_busy_ms.size(), 1u);
+}
+
+TEST(Fleet, LatencyCacheConsistent)
+{
+    FleetSimulator fleet = makeFleet(2);
+    const double a = fleet.sequenceLatencyMs(1024);
+    const double b = fleet.sequenceLatencyMs(1024);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(fleet.sequenceLatencyMs(2048), a); // longer is slower
+}
+
+TEST(Fleet, MoreAcceleratorsNeverSlower)
+{
+    std::vector<size_t> lens;
+    Rng rng(5);
+    for (int i = 0; i < 12; ++i)
+        lens.push_back(256 + 128 * rng.uniformInt(8));
+    double prev = 1e300;
+    for (size_t n : {1u, 2u, 4u}) {
+        const FleetReport r = makeFleet(n).run(lens);
+        EXPECT_LE(r.makespan_ms, prev + 1e-9) << n;
+        prev = r.makespan_ms;
+    }
+}
+
+TEST(Fleet, IdenticalJobsScaleNearLinearly)
+{
+    const std::vector<size_t> lens(8, 1024);
+    const FleetReport one = makeFleet(1).run(lens);
+    const FleetReport four = makeFleet(4).run(lens);
+    EXPECT_NEAR(one.makespan_ms / four.makespan_ms, 4.0, 1e-6);
+    EXPECT_NEAR(four.utilization, 1.0, 1e-9);
+}
+
+TEST(Fleet, UtilizationBounds)
+{
+    std::vector<size_t> lens{4096, 256, 256};
+    const FleetReport r = makeFleet(2).run(lens);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0 + 1e-12);
+    // One giant job dominates: the second accelerator mostly idles.
+    EXPECT_LT(r.utilization, 0.9);
+}
+
+TEST(Fleet, DetectionImprovesThroughput)
+{
+    const std::vector<size_t> lens(6, 2048);
+    const FleetReport dense = makeFleet(2, DotaMode::Full).run(lens);
+    const FleetReport sparse =
+        makeFleet(2, DotaMode::Conservative).run(lens);
+    EXPECT_GT(sparse.throughput_seq_s, dense.throughput_seq_s);
+}
+
+TEST(Fleet, EmptyBatch)
+{
+    const FleetReport r = makeFleet(3).run({});
+    EXPECT_DOUBLE_EQ(r.makespan_ms, 0.0);
+    EXPECT_DOUBLE_EQ(r.throughput_seq_s, 0.0);
+}
+
+TEST(Fleet, ReportInternallyConsistent)
+{
+    std::vector<size_t> lens{512, 1024, 1536, 2048, 512};
+    const FleetReport r = makeFleet(2).run(lens);
+    double busy = 0.0;
+    for (double b : r.accel_busy_ms) {
+        busy += b;
+        EXPECT_LE(b, r.makespan_ms + 1e-9);
+    }
+    EXPECT_NEAR(busy, r.total_work_ms, 1e-9);
+    EXPECT_GE(r.max_latency_ms, r.mean_latency_ms);
+    // The latency distribution mirrors the scalar summaries.
+    EXPECT_EQ(r.latency.count(), lens.size());
+    EXPECT_DOUBLE_EQ(r.latency.max(), r.max_latency_ms);
+    EXPECT_NEAR(r.latency.mean(), r.mean_latency_ms, 1e-9);
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the spectral helpers (used by the Section 3.3 analysis).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace dota {
+namespace {
+
+/** Build a matrix with a prescribed singular spectrum. */
+Matrix
+withSpectrum(const std::vector<double> &sv, size_t n, Rng &rng)
+{
+    // A = U diag(sv) V^T with random orthogonal-ish U, V from QR-free
+    // Gram-Schmidt of Gaussian matrices.
+    Matrix u = Matrix::randomNormal(n, sv.size(), rng);
+    Matrix v = Matrix::randomNormal(n, sv.size(), rng);
+    // Orthonormalize columns (Gram-Schmidt).
+    auto orth = [](Matrix &m) {
+        for (size_t j = 0; j < m.cols(); ++j) {
+            for (size_t p = 0; p < j; ++p) {
+                double dot = 0.0;
+                for (size_t i = 0; i < m.rows(); ++i)
+                    dot += double(m(i, p)) * m(i, j);
+                for (size_t i = 0; i < m.rows(); ++i)
+                    m(i, j) -= float(dot) * m(i, p);
+            }
+            double norm = 0.0;
+            for (size_t i = 0; i < m.rows(); ++i)
+                norm += double(m(i, j)) * m(i, j);
+            norm = std::sqrt(norm);
+            for (size_t i = 0; i < m.rows(); ++i)
+                m(i, j) = float(m(i, j) / norm);
+        }
+    };
+    orth(u);
+    orth(v);
+    Matrix a(n, n);
+    for (size_t r = 0; r < sv.size(); ++r)
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                a(i, j) += static_cast<float>(sv[r] * u(i, r) * v(j, r));
+    return a;
+}
+
+TEST(Linalg, RecoversKnownSpectrum)
+{
+    Rng rng(61);
+    const std::vector<double> sv{10.0, 5.0, 2.0};
+    const Matrix a = withSpectrum(sv, 24, rng);
+    const auto est = topSingularValues(a, 3, 50);
+    ASSERT_EQ(est.size(), 3u);
+    EXPECT_NEAR(est[0], 10.0, 0.2);
+    EXPECT_NEAR(est[1], 5.0, 0.2);
+    EXPECT_NEAR(est[2], 2.0, 0.2);
+}
+
+TEST(Linalg, IdentitySpectrum)
+{
+    const Matrix id = Matrix::identity(12);
+    const auto sv = topSingularValues(id, 4, 40);
+    for (double s : sv)
+        EXPECT_NEAR(s, 1.0, 1e-3);
+}
+
+TEST(Linalg, RectangularMatrix)
+{
+    Rng rng(62);
+    const Matrix a = Matrix::randomNormal(30, 8, rng);
+    const auto sv = topSingularValues(a, 3, 40);
+    EXPECT_GT(sv[0], sv[1]);
+    EXPECT_GT(sv[1], sv[2]);
+    EXPECT_GT(sv[2], 0.0);
+}
+
+TEST(Linalg, EffectiveRankOfEqualSpectrum)
+{
+    Rng rng(63);
+    // r equal singular values -> effective rank r.
+    const Matrix a = withSpectrum({3.0, 3.0, 3.0, 3.0}, 20, rng);
+    EXPECT_NEAR(effectiveRank(a, 8, 50), 4.0, 0.2);
+}
+
+TEST(Linalg, EffectiveRankDominatedSpectrum)
+{
+    Rng rng(64);
+    const Matrix a = withSpectrum({10.0, 0.1, 0.1}, 20, rng);
+    EXPECT_LT(effectiveRank(a, 6, 50), 1.2);
+}
+
+TEST(Linalg, SpectralEnergyCaptureExactRank)
+{
+    Rng rng(65);
+    const Matrix a = withSpectrum({4.0, 2.0}, 16, rng);
+    EXPECT_NEAR(spectralEnergyTopK(a, 2, 50), 1.0, 1e-3);
+    const double top1 = spectralEnergyTopK(a, 1, 50);
+    EXPECT_NEAR(top1, 16.0 / 20.0, 0.02); // 4^2 / (4^2 + 2^2)
+}
+
+TEST(Linalg, EnergyMonotoneInK)
+{
+    Rng rng(66);
+    const Matrix a = Matrix::randomNormal(20, 20, rng);
+    double prev = 0.0;
+    for (size_t k : {1u, 2u, 4u, 8u}) {
+        const double e = spectralEnergyTopK(a, k, 40);
+        EXPECT_GE(e, prev - 1e-6);
+        prev = e;
+    }
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for paper-scale synthetic attention-mask generation.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/mask_synth.hpp"
+
+namespace dota {
+namespace {
+
+TEST(MaskSynth, RowBalancedAtTargetRetention)
+{
+    Rng rng(121);
+    MaskProfile p;
+    p.retention = 0.1;
+    const SparseMask m = synthesizeMask(256, p, rng);
+    EXPECT_TRUE(m.rowBalanced());
+    EXPECT_EQ(m.row(0).size(), 26u); // round(0.1 * 256)
+    EXPECT_NEAR(m.density(), 0.1, 0.01);
+}
+
+TEST(MaskSynth, DiagonalAlwaysKept)
+{
+    Rng rng(122);
+    MaskProfile p;
+    p.retention = 0.05;
+    const SparseMask m = synthesizeMask(200, p, rng);
+    for (size_t r = 0; r < 200; ++r)
+        EXPECT_TRUE(m.contains(r, static_cast<uint32_t>(r)));
+}
+
+TEST(MaskSynth, CausalRespectsTriangle)
+{
+    Rng rng(123);
+    MaskProfile p;
+    p.retention = 0.2;
+    const SparseMask m = synthesizeMask(128, p, rng, /*causal=*/true);
+    for (size_t r = 0; r < 128; ++r)
+        for (uint32_t c : m.row(r))
+            EXPECT_LE(c, r);
+    // Early rows keep everything they can see.
+    EXPECT_EQ(m.row(0).size(), 1u);
+}
+
+class MaskProfileKnobs : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(MaskProfileKnobs, LocalFractionTracksKnob)
+{
+    const double frac = GetParam();
+    Rng rng(124);
+    MaskProfile p;
+    p.retention = 0.08;
+    p.frac_local = frac;
+    p.frac_hub = 0.1;
+    p.window = 16;
+    const SparseMask m = synthesizeMask(512, p, rng);
+    const MaskStats stats = measureMask(m, p.window);
+    // Locality responds monotonically (diagonal adds a floor).
+    EXPECT_GT(stats.local_fraction, 0.8 * frac);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fracs, MaskProfileKnobs,
+                         ::testing::Values(0.2, 0.4, 0.6));
+
+TEST(MaskSynth, HubsConcentrateColumns)
+{
+    Rng rng(125);
+    MaskProfile hubby;
+    hubby.retention = 0.08;
+    hubby.frac_hub = 0.5;
+    hubby.frac_local = 0.1;
+    hubby.hub_count = 8;
+    MaskProfile flat = hubby;
+    flat.frac_hub = 0.0;
+    const MaskStats with_hubs =
+        measureMask(synthesizeMask(512, hubby, rng));
+    const MaskStats without =
+        measureMask(synthesizeMask(512, flat, rng));
+    EXPECT_GT(with_hubs.top_column_share, 2.0 * without.top_column_share);
+}
+
+TEST(MaskSynth, HubsImproveGroupReuse)
+{
+    Rng rng(126);
+    MaskProfile hubby;
+    hubby.retention = 0.1;
+    hubby.frac_hub = 0.5;
+    hubby.hub_count = 8;
+    MaskProfile flat = hubby;
+    flat.frac_hub = 0.0;
+    flat.frac_local = 0.0;
+    const MaskStats with_hubs =
+        measureMask(synthesizeMask(512, hubby, rng));
+    const MaskStats without =
+        measureMask(synthesizeMask(512, flat, rng));
+    EXPECT_GT(with_hubs.group_reuse, without.group_reuse);
+    EXPECT_GE(without.group_reuse, 1.0); // reuse is at least 1 by def.
+}
+
+TEST(MaskSynth, ProfilesForAllBenchmarks)
+{
+    for (const Benchmark &b : allBenchmarks()) {
+        const MaskProfile p = profileFor(b.id, 0.1);
+        EXPECT_DOUBLE_EQ(p.retention, 0.1);
+        EXPECT_GT(p.frac_local + p.frac_hub, 0.0);
+        EXPECT_LE(p.frac_local + p.frac_hub, 1.0) << b.name;
+    }
+}
+
+TEST(MaskSynth, FullRetentionIsDense)
+{
+    Rng rng(127);
+    MaskProfile p;
+    p.retention = 1.0;
+    const SparseMask m = synthesizeMask(64, p, rng);
+    EXPECT_EQ(m.nnz(), 64u * 64u);
+}
+
+TEST(MaskSynth, MeasureEmptyMaskSafe)
+{
+    const MaskStats stats = measureMask(SparseMask(0, 0));
+    EXPECT_DOUBLE_EQ(stats.density, 0.0);
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the dense kernels (forward semantics).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace dota {
+namespace {
+
+Matrix
+m22(float a, float b, float c, float d)
+{
+    return Matrix(2, 2, std::vector<float>{a, b, c, d});
+}
+
+TEST(Ops, MatmulKnown)
+{
+    const Matrix a = m22(1, 2, 3, 4);
+    const Matrix b = m22(5, 6, 7, 8);
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Ops, MatmulIdentity)
+{
+    Rng rng(1);
+    const Matrix a = Matrix::randomNormal(5, 5, rng);
+    EXPECT_TRUE(Matrix::allClose(matmul(a, Matrix::identity(5)), a));
+    EXPECT_TRUE(Matrix::allClose(matmul(Matrix::identity(5), a), a));
+}
+
+TEST(Ops, MatmulVariantsAgree)
+{
+    Rng rng(2);
+    const Matrix a = Matrix::randomNormal(4, 6, rng);
+    const Matrix b = Matrix::randomNormal(6, 3, rng);
+    const Matrix ref = matmul(a, b);
+    EXPECT_TRUE(Matrix::allClose(matmulBT(a, transpose(b)), ref, 1e-4));
+    EXPECT_TRUE(Matrix::allClose(matmulAT(transpose(a), b), ref, 1e-4));
+}
+
+TEST(Ops, TransposeInvolution)
+{
+    Rng rng(3);
+    const Matrix a = Matrix::randomNormal(3, 7, rng);
+    EXPECT_TRUE(Matrix::allClose(transpose(transpose(a)), a));
+}
+
+TEST(Ops, Elementwise)
+{
+    const Matrix a = m22(1, 2, 3, 4);
+    const Matrix b = m22(5, 6, 7, 8);
+    EXPECT_FLOAT_EQ(add(a, b)(1, 1), 12.0f);
+    EXPECT_FLOAT_EQ(sub(b, a)(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(hadamard(a, b)(1, 0), 21.0f);
+    EXPECT_FLOAT_EQ(scale(a, 0.5f)(0, 1), 1.0f);
+}
+
+TEST(Ops, AddRowBroadcast)
+{
+    const Matrix a = m22(1, 2, 3, 4);
+    const Matrix bias(1, 2, std::vector<float>{10, 20});
+    const Matrix c = addRowBroadcast(a, bias);
+    EXPECT_FLOAT_EQ(c(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 24.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(4);
+    const Matrix x = Matrix::randomNormal(6, 9, rng, 0.0f, 3.0f);
+    const Matrix y = rowSoftmax(x);
+    for (size_t r = 0; r < y.rows(); ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < y.cols(); ++c) {
+            sum += y(r, c);
+            EXPECT_GT(y(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxShiftInvariant)
+{
+    Rng rng(5);
+    const Matrix x = Matrix::randomNormal(3, 5, rng);
+    Matrix shifted = x;
+    for (size_t i = 0; i < shifted.size(); ++i)
+        shifted.data()[i] += 100.0f;
+    EXPECT_TRUE(Matrix::allClose(rowSoftmax(x), rowSoftmax(shifted),
+                                 1e-5));
+}
+
+TEST(Ops, MaskedSoftmaxZeroesOmitted)
+{
+    const Matrix x(1, 4, std::vector<float>{1, 2, 3, 4});
+    Matrix mask(1, 4);
+    mask(0, 1) = 1.0f;
+    mask(0, 3) = 1.0f;
+    const Matrix y = rowSoftmaxMasked(x, mask);
+    EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y(0, 2), 0.0f);
+    EXPECT_NEAR(y(0, 1) + y(0, 3), 1.0, 1e-6);
+    // Kept entries renormalize: exp(2)/(exp(2)+exp(4)).
+    EXPECT_NEAR(y(0, 1), std::exp(2.0) / (std::exp(2.0) + std::exp(4.0)),
+                1e-6);
+}
+
+TEST(Ops, MaskedSoftmaxEmptyRowStaysZero)
+{
+    const Matrix x(2, 3, 1.0f);
+    Matrix mask(2, 3);
+    mask(0, 0) = 1.0f; // row 1 fully masked
+    const Matrix y = rowSoftmaxMasked(x, mask);
+    EXPECT_FLOAT_EQ(y(0, 0), 1.0f);
+    for (size_t c = 0; c < 3; ++c)
+        EXPECT_FLOAT_EQ(y(1, c), 0.0f);
+}
+
+TEST(Ops, MaskedSoftmaxFullMaskEqualsDense)
+{
+    Rng rng(6);
+    const Matrix x = Matrix::randomNormal(4, 6, rng);
+    const Matrix ones(4, 6, 1.0f);
+    EXPECT_TRUE(
+        Matrix::allClose(rowSoftmaxMasked(x, ones), rowSoftmax(x), 1e-6));
+}
+
+TEST(Ops, ReluAndGelu)
+{
+    const Matrix x(1, 4, std::vector<float>{-2, -0.5, 0.5, 2});
+    const Matrix r = relu(x);
+    EXPECT_FLOAT_EQ(r(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(r(0, 3), 2.0f);
+    const Matrix g = gelu(x);
+    EXPECT_NEAR(g(0, 3), 1.954, 5e-3); // gelu(2)
+    EXPECT_NEAR(g(0, 0), -0.0455, 5e-3);
+    EXPECT_LT(g(0, 1), 0.0f);
+}
+
+TEST(Ops, LayerNormStats)
+{
+    Rng rng(7);
+    const Matrix x = Matrix::randomNormal(5, 32, rng, 3.0f, 2.0f);
+    const Matrix gamma(1, 32, 1.0f);
+    const Matrix beta(1, 32, 0.0f);
+    Matrix mean, rstd;
+    const Matrix y = layerNorm(x, gamma, beta, mean, rstd);
+    for (size_t r = 0; r < y.rows(); ++r) {
+        double mu = 0.0, var = 0.0;
+        for (size_t c = 0; c < y.cols(); ++c)
+            mu += y(r, c);
+        mu /= y.cols();
+        for (size_t c = 0; c < y.cols(); ++c)
+            var += (y(r, c) - mu) * (y(r, c) - mu);
+        var /= y.cols();
+        EXPECT_NEAR(mu, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(Ops, LayerNormGammaBeta)
+{
+    const Matrix x(1, 4, std::vector<float>{1, 2, 3, 4});
+    const Matrix gamma(1, 4, 2.0f);
+    const Matrix beta(1, 4, 5.0f);
+    Matrix mean, rstd;
+    const Matrix y = layerNorm(x, gamma, beta, mean, rstd);
+    double sum = 0.0;
+    for (size_t c = 0; c < 4; ++c)
+        sum += y(0, c);
+    EXPECT_NEAR(sum / 4.0, 5.0, 1e-5); // beta shifts the mean
+}
+
+TEST(Ops, Mse)
+{
+    const Matrix a(1, 2, std::vector<float>{0, 0});
+    const Matrix b(1, 2, std::vector<float>{3, 4});
+    EXPECT_DOUBLE_EQ(mse(a, b), 12.5);
+}
+
+TEST(Ops, GemmMacs)
+{
+    EXPECT_EQ(gemmMacs(2, 3, 4), 24u);
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Finite-difference verification of every hand-derived kernel backward.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace dota {
+namespace {
+
+/** Numeric dL/dx for a scalar loss L(x) = sum(w .* f(x)). */
+Matrix
+numericGrad(const Matrix &x, const Matrix &w,
+            const std::function<Matrix(const Matrix &)> &f,
+            double eps = 1e-3)
+{
+    Matrix grad(x.rows(), x.cols());
+    Matrix probe = x;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const float saved = probe.data()[i];
+        probe.data()[i] = saved + static_cast<float>(eps);
+        const Matrix up = f(probe);
+        probe.data()[i] = saved - static_cast<float>(eps);
+        const Matrix down = f(probe);
+        probe.data()[i] = saved;
+        double acc = 0.0;
+        for (size_t j = 0; j < up.size(); ++j)
+            acc += static_cast<double>(w.data()[j]) *
+                   (up.data()[j] - down.data()[j]);
+        grad.data()[i] = static_cast<float>(acc / (2.0 * eps));
+    }
+    return grad;
+}
+
+TEST(OpsGrad, SoftmaxBackward)
+{
+    Rng rng(21);
+    const Matrix x = Matrix::randomNormal(3, 6, rng);
+    const Matrix w = Matrix::randomNormal(3, 6, rng); // upstream dL/dy
+    const Matrix y = rowSoftmax(x);
+    const Matrix analytic = rowSoftmaxBackward(y, w);
+    const Matrix numeric =
+        numericGrad(x, w, [](const Matrix &m) { return rowSoftmax(m); });
+    EXPECT_LT(Matrix::maxAbsDiff(analytic, numeric), 2e-3);
+}
+
+TEST(OpsGrad, MaskedSoftmaxBackwardViaDenseFormula)
+{
+    Rng rng(22);
+    const Matrix x = Matrix::randomNormal(2, 8, rng);
+    Matrix mask(2, 8);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 8; c += 2)
+            mask(r, c) = 1.0f;
+    const Matrix w = Matrix::randomNormal(2, 8, rng);
+    const Matrix y = rowSoftmaxMasked(x, mask);
+    const Matrix analytic = rowSoftmaxBackward(y, w);
+    const Matrix numeric = numericGrad(
+        x, w,
+        [&mask](const Matrix &m) { return rowSoftmaxMasked(m, mask); });
+    EXPECT_LT(Matrix::maxAbsDiff(analytic, numeric), 2e-3);
+}
+
+TEST(OpsGrad, ReluBackward)
+{
+    Rng rng(23);
+    const Matrix x = Matrix::randomNormal(4, 5, rng);
+    const Matrix w = Matrix::randomNormal(4, 5, rng);
+    const Matrix analytic = reluBackward(x, w);
+    const Matrix numeric =
+        numericGrad(x, w, [](const Matrix &m) { return relu(m); });
+    EXPECT_LT(Matrix::maxAbsDiff(analytic, numeric), 5e-3);
+}
+
+TEST(OpsGrad, GeluBackward)
+{
+    Rng rng(24);
+    const Matrix x = Matrix::randomNormal(4, 5, rng);
+    const Matrix w = Matrix::randomNormal(4, 5, rng);
+    const Matrix analytic = geluBackward(x, w);
+    const Matrix numeric =
+        numericGrad(x, w, [](const Matrix &m) { return gelu(m); });
+    EXPECT_LT(Matrix::maxAbsDiff(analytic, numeric), 2e-3);
+}
+
+TEST(OpsGrad, LayerNormBackwardInput)
+{
+    Rng rng(25);
+    const Matrix x = Matrix::randomNormal(3, 8, rng, 1.0f, 2.0f);
+    Matrix gamma = Matrix::randomNormal(1, 8, rng, 1.0f, 0.2f);
+    const Matrix beta(1, 8, 0.1f);
+    const Matrix w = Matrix::randomNormal(3, 8, rng);
+
+    Matrix mean, rstd;
+    layerNorm(x, gamma, beta, mean, rstd);
+    Matrix dgamma, dbeta;
+    const Matrix analytic =
+        layerNormBackward(x, gamma, mean, rstd, w, dgamma, dbeta);
+
+    const Matrix numeric = numericGrad(
+        x, w, [&gamma, &beta](const Matrix &m) {
+            Matrix mu, rs;
+            return layerNorm(m, gamma, beta, mu, rs);
+        });
+    EXPECT_LT(Matrix::maxAbsDiff(analytic, numeric), 5e-3);
+}
+
+TEST(OpsGrad, LayerNormBackwardParams)
+{
+    Rng rng(26);
+    const Matrix x = Matrix::randomNormal(3, 6, rng, 0.5f, 1.5f);
+    Matrix gamma = Matrix::randomNormal(1, 6, rng, 1.0f, 0.2f);
+    const Matrix beta(1, 6, 0.0f);
+    const Matrix w = Matrix::randomNormal(3, 6, rng);
+
+    Matrix mean, rstd;
+    layerNorm(x, gamma, beta, mean, rstd);
+    Matrix dgamma, dbeta;
+    layerNormBackward(x, gamma, mean, rstd, w, dgamma, dbeta);
+
+    const Matrix num_gamma = numericGrad(
+        gamma, w, [&x, &beta](const Matrix &g) {
+            Matrix mu, rs;
+            return layerNorm(x, g, beta, mu, rs);
+        });
+    EXPECT_LT(Matrix::maxAbsDiff(dgamma, num_gamma), 5e-3);
+
+    const Matrix num_beta = numericGrad(
+        beta, w, [&x, &gamma](const Matrix &b) {
+            Matrix mu, rs;
+            return layerNorm(x, gamma, b, mu, rs);
+        });
+    EXPECT_LT(Matrix::maxAbsDiff(dbeta, num_beta), 5e-3);
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the bit-exact multi-precision PE model (Figure 7),
+ * including exhaustive verification of the INT2-composed multipliers.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/pe_model.hpp"
+
+namespace dota {
+namespace {
+
+TEST(PeModel, Int2CellRange)
+{
+    EXPECT_EQ(int2Multiply(-2, -2), 4);
+    EXPECT_EQ(int2Multiply(-2, 1), -2);
+    EXPECT_EQ(int2Multiply(1, 1), 1);
+    EXPECT_EQ(int2Multiply(0, -2), 0);
+}
+
+TEST(PeModel, Int2CellRejectsOutOfRange)
+{
+    EXPECT_DEATH(int2Multiply(2, 0), "out of range");
+    EXPECT_DEATH(int2Multiply(0, -3), "out of range");
+}
+
+TEST(PeModel, ComposedFx4Exhaustive)
+{
+    // Every signed 4-bit operand pair: the composed datapath must equal
+    // the reference product (Figure 7c).
+    for (int a = -8; a <= 7; ++a) {
+        for (int b = -8; b <= 7; ++b) {
+            size_t ops = 0;
+            EXPECT_EQ(composedMultiply(a, b, 4, &ops),
+                      static_cast<int64_t>(a) * b)
+                << a << " * " << b;
+            EXPECT_EQ(ops, 4u); // (4/2)^2 unit cells
+        }
+    }
+}
+
+TEST(PeModel, ComposedInt8Sampled)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const int a = static_cast<int>(rng.uniformInt(256)) - 128;
+        const int b = static_cast<int>(rng.uniformInt(256)) - 128;
+        size_t ops = 0;
+        EXPECT_EQ(composedMultiply(a, b, 8, &ops),
+                  static_cast<int64_t>(a) * b);
+        EXPECT_EQ(ops, 16u); // (8/2)^2
+    }
+    // Extremes.
+    EXPECT_EQ(composedMultiply(-128, -128, 8), 16384);
+    EXPECT_EQ(composedMultiply(-128, 127, 8), -16256);
+}
+
+TEST(PeModel, ComposedFx16Sampled)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const int a = static_cast<int>(rng.uniformInt(65536)) - 32768;
+        const int b = static_cast<int>(rng.uniformInt(65536)) - 32768;
+        size_t ops = 0;
+        EXPECT_EQ(composedMultiply(a, b, 16, &ops),
+                  static_cast<int64_t>(a) * b);
+        EXPECT_EQ(ops, 64u); // (16/2)^2 — the full cell array
+    }
+    EXPECT_EQ(composedMultiply(-32768, -32768, 16),
+              int64_t{32768} * 32768);
+}
+
+TEST(PeModel, ThroughputMatchesQuantModel)
+{
+    // The PE's per-cycle MAC counts must equal rmmuMacsPerPe (what the
+    // cycle model assumes).
+    EXPECT_EQ(MultiPrecisionPe(Precision::FX16).macsPerCycle(), 1u);
+    EXPECT_EQ(MultiPrecisionPe(Precision::INT8).macsPerCycle(), 4u);
+    EXPECT_EQ(MultiPrecisionPe(Precision::INT4).macsPerCycle(), 16u);
+    EXPECT_EQ(MultiPrecisionPe(Precision::INT2).macsPerCycle(), 64u);
+}
+
+TEST(PeModel, AccumulatesAcrossCycles)
+{
+    MultiPrecisionPe pe(Precision::INT4);
+    pe.cycle({{3, 4}, {-2, 5}});
+    pe.cycle({{7, -7}});
+    EXPECT_EQ(pe.psum(), 12 - 10 - 49);
+    EXPECT_EQ(pe.cyclesElapsed(), 2u);
+    pe.reset();
+    EXPECT_EQ(pe.psum(), 0);
+}
+
+TEST(PeModel, FullCyclesFullyUtilizeEveryMode)
+{
+    for (Precision p : {Precision::FX16, Precision::INT8,
+                        Precision::INT4, Precision::INT2}) {
+        MultiPrecisionPe pe(p);
+        std::vector<std::pair<int32_t, int32_t>> pairs(
+            pe.macsPerCycle(), {1, 1});
+        pe.cycle(pairs);
+        EXPECT_DOUBLE_EQ(pe.utilization(), 1.0) << precisionName(p);
+    }
+}
+
+TEST(PeModel, PartialCyclesUnderutilize)
+{
+    MultiPrecisionPe pe(Precision::INT2);
+    pe.cycle({{1, 1}}); // 1 of 64 slots
+    EXPECT_NEAR(pe.utilization(), 1.0 / 64.0, 1e-12);
+}
+
+TEST(PeModel, RejectsOverfilledCycle)
+{
+    MultiPrecisionPe pe(Precision::FX16);
+    EXPECT_DEATH(pe.cycle({{1, 1}, {2, 2}}), "exceed");
+}
+
+TEST(PeModel, Int4GemmEquivalence)
+{
+    // A tiny GEMM computed entirely through the PE model equals the
+    // integer reference — the RMMU's functional correctness.
+    Rng rng(3);
+    const Matrix a = Matrix::randomNormal(4, 8, rng);
+    const Matrix b = Matrix::randomNormal(4, 8, rng);
+    const QuantizedMatrix qa = quantize(a, 4);
+    const QuantizedMatrix qb = quantize(b, 4);
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < 4; ++j) {
+            MultiPrecisionPe pe(Precision::INT4);
+            for (size_t c = 0; c < 8; c += pe.macsPerCycle()) {
+                std::vector<std::pair<int32_t, int32_t>> pairs;
+                for (size_t cc = c;
+                     cc < std::min<size_t>(8, c + pe.macsPerCycle());
+                     ++cc)
+                    pairs.emplace_back(qa.at(i, cc), qb.at(j, cc));
+                pe.cycle(pairs);
+            }
+            int64_t ref = 0;
+            for (size_t c = 0; c < 8; ++c)
+                ref += static_cast<int64_t>(qa.at(i, c)) * qb.at(j, c);
+            EXPECT_EQ(pe.psum(), ref);
+        }
+    }
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for quantization and multi-precision support.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
+
+namespace dota {
+namespace {
+
+TEST(Precision, BitsAndNames)
+{
+    EXPECT_EQ(precisionBits(Precision::FX16), 16);
+    EXPECT_EQ(precisionBits(Precision::INT4), 4);
+    EXPECT_EQ(precisionName(Precision::INT2), "INT2");
+    EXPECT_EQ(precisionFromName("FX16"), Precision::FX16);
+    EXPECT_EQ(precisionFromName("INT8"), Precision::INT8);
+}
+
+TEST(Precision, RmmuThroughputQuadratic)
+{
+    // Figure 7: quadratic throughput scaling with precision.
+    EXPECT_EQ(rmmuMacsPerPe(Precision::FX16), 1);
+    EXPECT_EQ(rmmuMacsPerPe(Precision::INT8), 4);
+    EXPECT_EQ(rmmuMacsPerPe(Precision::INT4), 16);
+    EXPECT_EQ(rmmuMacsPerPe(Precision::INT2), 64);
+    EXPECT_EQ(rmmuMacsPerPe(Precision::FP32), 0);
+}
+
+TEST(Quant, ScaleMapsMaxAbs)
+{
+    Matrix m(1, 3, std::vector<float>{-7.0f, 3.5f, 1.0f});
+    const QuantParams p = chooseSymmetricScale(m, 8);
+    EXPECT_EQ(p.qmax(), 127);
+    EXPECT_EQ(p.qmin(), -128);
+    EXPECT_NEAR(p.scale, 7.0 / 127.0, 1e-6);
+}
+
+TEST(Quant, ZeroTensorSafe)
+{
+    Matrix m(2, 2, 0.0f);
+    const QuantizedMatrix q = quantize(m, 4);
+    const Matrix back = dequantize(q);
+    EXPECT_TRUE(Matrix::allClose(back, m));
+}
+
+class QuantRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuantRoundTrip, ErrorBoundedByHalfStep)
+{
+    const int bits = GetParam();
+    Rng rng(31);
+    const Matrix m = Matrix::randomNormal(16, 16, rng, 0.0f, 2.0f);
+    const QuantizedMatrix q = quantize(m, bits);
+    const Matrix back = dequantize(q);
+    const double half_step = 0.5 * q.params().scale + 1e-6;
+    EXPECT_LE(Matrix::maxAbsDiff(m, back), half_step);
+}
+
+TEST_P(QuantRoundTrip, CodesInRange)
+{
+    const int bits = GetParam();
+    Rng rng(32);
+    const Matrix m = Matrix::randomNormal(8, 8, rng, 0.0f, 5.0f);
+    const QuantizedMatrix q = quantize(m, bits);
+    for (size_t r = 0; r < q.rows(); ++r)
+        for (size_t c = 0; c < q.cols(); ++c) {
+            EXPECT_GE(q.at(r, c), q.params().qmin());
+            EXPECT_LE(q.at(r, c), q.params().qmax());
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, QuantRoundTrip,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(Quant, FakeQuantIdempotent)
+{
+    Rng rng(33);
+    const Matrix m = Matrix::randomNormal(8, 8, rng);
+    const Matrix once = fakeQuant(m, 4);
+    const Matrix twice = fakeQuant(once, 4);
+    EXPECT_LE(Matrix::maxAbsDiff(once, twice),
+              2e-3); // grid is stable up to scale re-estimation
+}
+
+TEST(Quant, FakeQuant32IsIdentity)
+{
+    Rng rng(34);
+    const Matrix m = Matrix::randomNormal(4, 4, rng);
+    EXPECT_TRUE(Matrix::allClose(fakeQuant(m, 32), m));
+}
+
+TEST(Quant, MorePrecisionLessError)
+{
+    Rng rng(35);
+    const Matrix m = Matrix::randomNormal(32, 32, rng);
+    double prev = 1e9;
+    for (int bits : {2, 4, 8}) {
+        const double err = mse(m, fakeQuant(m, bits));
+        EXPECT_LT(err, prev);
+        prev = err;
+    }
+}
+
+TEST(Quant, IntegerGemmMatchesFloatOfQuantizedOperands)
+{
+    Rng rng(36);
+    const Matrix a = Matrix::randomNormal(5, 8, rng);
+    const Matrix b = Matrix::randomNormal(6, 8, rng);
+    const QuantizedMatrix qa = quantize(a, 8);
+    const QuantizedMatrix qb = quantize(b, 8);
+    // The integer datapath must equal the float product of the
+    // dequantized operands exactly (no extra rounding inside PSUM).
+    const Matrix ref = matmulBT(dequantize(qa), dequantize(qb));
+    const Matrix out = quantizedMatmulBT(qa, qb);
+    EXPECT_LT(Matrix::maxAbsDiff(ref, out), 1e-4);
+}
+
+TEST(Quant, IntegerGemmApproximatesFloat)
+{
+    Rng rng(37);
+    const Matrix a = Matrix::randomNormal(8, 16, rng);
+    const Matrix b = Matrix::randomNormal(8, 16, rng);
+    const Matrix ref = matmulBT(a, b);
+    const Matrix out = quantizedMatmulBT(quantize(a, 8), quantize(b, 8));
+    // INT8 keeps relative error small on well-conditioned inputs.
+    EXPECT_LT(mse(ref, out) / (mse(ref, Matrix(8, 8)) + 1e-9), 1e-3);
+}
+
+TEST(Quant, PackedBytes)
+{
+    QuantizedMatrix q(4, 4, QuantParams{1.0f, 4});
+    EXPECT_EQ(q.packedBytes(), 8u); // 16 codes * 4 bits
+    QuantizedMatrix q2(3, 3, QuantParams{1.0f, 2});
+    EXPECT_EQ(q2.packedBytes(), 3u); // 18 bits -> 3 bytes
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the random projections behind both detection mechanisms.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/random_projection.hpp"
+
+namespace dota {
+namespace {
+
+TEST(SparseProjection, EntryDistribution)
+{
+    Rng rng(51);
+    const size_t d = 256, k = 64;
+    const Matrix p = sparseRandomProjection(d, k, rng);
+    const float mag = std::sqrt(3.0f / static_cast<float>(k));
+    size_t zeros = 0, pos = 0, neg = 0;
+    for (size_t i = 0; i < p.size(); ++i) {
+        const float v = p.data()[i];
+        if (v == 0.0f)
+            ++zeros;
+        else if (std::abs(v - mag) < 1e-6)
+            ++pos;
+        else if (std::abs(v + mag) < 1e-6)
+            ++neg;
+        else
+            FAIL() << "unexpected entry " << v;
+    }
+    const double total = static_cast<double>(p.size());
+    EXPECT_NEAR(zeros / total, 2.0 / 3.0, 0.02);
+    EXPECT_NEAR(pos / total, 1.0 / 6.0, 0.02);
+    EXPECT_NEAR(neg / total, 1.0 / 6.0, 0.02);
+}
+
+TEST(SparseProjection, PreservesInnerProductsOnAverage)
+{
+    // Johnson-Lindenstrauss-style check: E[(Px)(Py)^T] = x y^T.
+    Rng rng(52);
+    const size_t d = 128, k = 64, trials = 200;
+    const Matrix x = Matrix::randomNormal(1, d, rng);
+    const Matrix y = Matrix::randomNormal(1, d, rng);
+    const double exact = matmulBT(x, y)(0, 0);
+    double acc = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+        const Matrix p = sparseRandomProjection(d, k, rng);
+        acc += matmulBT(matmul(x, p), matmul(y, p))(0, 0);
+    }
+    // Estimator std per trial is ~|x||y|/sqrt(k) ~ 16; the mean of 200
+    // trials has std ~1.1, so a 3.5-sigma band is ~4.
+    EXPECT_NEAR(acc / trials, exact, 4.0);
+}
+
+TEST(SparseProjection, PreservesNormsApproximately)
+{
+    Rng rng(53);
+    const size_t d = 256, k = 96;
+    const Matrix x = Matrix::randomNormal(1, d, rng);
+    const Matrix p = sparseRandomProjection(d, k, rng);
+    const double orig = x.frobeniusNorm();
+    const double proj = matmul(x, p).frobeniusNorm();
+    EXPECT_NEAR(proj / orig, 1.0, 0.35);
+}
+
+TEST(GaussianProjection, Shape)
+{
+    Rng rng(54);
+    const Matrix p = gaussianRandomProjection(32, 8, rng);
+    EXPECT_EQ(p.rows(), 32u);
+    EXPECT_EQ(p.cols(), 8u);
+}
+
+TEST(SignHashes, SelfSimilarityIsOne)
+{
+    Rng rng(55);
+    const Matrix x = Matrix::randomNormal(6, 32, rng);
+    const SignHashes h(x, 64, rng);
+    for (size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(h.hamming(i, i), 0u);
+        EXPECT_DOUBLE_EQ(h.similarity(i, i), 1.0);
+    }
+}
+
+TEST(SignHashes, OppositeVectorsAntipodal)
+{
+    Rng rng(56);
+    Matrix x(2, 16);
+    for (size_t c = 0; c < 16; ++c) {
+        x(0, c) = static_cast<float>(rng.normal());
+        x(1, c) = -x(0, c);
+    }
+    const SignHashes h(x, 128, rng);
+    EXPECT_LT(h.similarity(0, 1), -0.95);
+}
+
+TEST(SignHashes, EstimatesAngle)
+{
+    // Two vectors at a known 60-degree angle: cos = 0.5.
+    Rng rng(57);
+    Matrix x(2, 2);
+    x(0, 0) = 1.0f;
+    x(0, 1) = 0.0f;
+    x(1, 0) = 0.5f;
+    x(1, 1) = std::sqrt(3.0f) / 2.0f;
+    const SignHashes h(x, 2048, rng);
+    EXPECT_NEAR(h.similarity(0, 1), 0.5, 0.08);
+}
+
+class HashBits : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(HashBits, MoreBitsTightenEstimate)
+{
+    const size_t m = GetParam();
+    Rng rng(58);
+    const size_t d = 24;
+    const Matrix x = Matrix::randomNormal(12, d, rng);
+    const SignHashes h(x, m, rng);
+    // Average absolute error of the cosine estimate vs exact.
+    double err = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < x.rows(); ++i) {
+        for (size_t j = i + 1; j < x.rows(); ++j) {
+            double dot = 0.0, ni = 0.0, nj = 0.0;
+            for (size_t c = 0; c < d; ++c) {
+                dot += static_cast<double>(x(i, c)) * x(j, c);
+                ni += static_cast<double>(x(i, c)) * x(i, c);
+                nj += static_cast<double>(x(j, c)) * x(j, c);
+            }
+            const double exact = dot / std::sqrt(ni * nj);
+            err += std::abs(h.similarity(i, j) - exact);
+            ++count;
+        }
+    }
+    err /= static_cast<double>(count);
+    // Loose monotone bound: error ~ pi/(2*sqrt(m)).
+    EXPECT_LT(err, 2.5 / std::sqrt(static_cast<double>(m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HashBits,
+                         ::testing::Values(16, 64, 256, 1024));
+
+TEST(SignHashes, CrossSimilarityMatchesSharedPlanes)
+{
+    Rng rng(59);
+    const Matrix q = Matrix::randomNormal(4, 16, rng);
+    const Matrix k = Matrix::randomNormal(5, 16, rng);
+    const Matrix planes = Matrix::randomNormal(16, 64, rng);
+    const SignHashes hq(q, planes);
+    const SignHashes hk(k, planes);
+    // Hash of identical vectors across the two sets must agree.
+    const SignHashes hq2(q, planes);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(hq.crossSimilarity(i, hq2, i), 1.0);
+    // Cross similarities are bounded cosine estimates.
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 5; ++j) {
+            const double s = hq.crossSimilarity(i, hk, j);
+            EXPECT_GE(s, -1.0);
+            EXPECT_LE(s, 1.0);
+        }
+}
+
+} // namespace
+} // namespace dota

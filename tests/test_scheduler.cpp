@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the Token-Parallel schedulers, including the paper's worked
+ * examples (Figures 8/9/10) and coverage/optimality properties on random
+ * masks.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/dataflow.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/mask_synth.hpp"
+
+namespace dota {
+namespace {
+
+std::vector<std::vector<uint32_t>>
+groupRows(const SparseMask &mask, size_t base, size_t t)
+{
+    std::vector<std::vector<uint32_t>> rows;
+    for (size_t q = base; q < std::min(base + t, mask.rows()); ++q)
+        rows.push_back(mask.row(q));
+    return rows;
+}
+
+TEST(Scheduler, Figure8RowByRowLoadsTen)
+{
+    const auto stats = analyzeDataflow(figure8Mask(), Dataflow::RowByRow);
+    EXPECT_EQ(stats.key_loads, 10u); // the paper's "10 Key Vectors"
+    EXPECT_EQ(stats.connections, 10u);
+}
+
+TEST(Scheduler, Figure8InOrderLoadsFive)
+{
+    const auto stats =
+        analyzeDataflow(figure8Mask(), Dataflow::TokenParallelInOrder, 4);
+    EXPECT_EQ(stats.key_loads, 5u); // the paper's "5 Key Vectors"
+}
+
+TEST(Scheduler, Figure9InOrderLoadsEleven)
+{
+    const auto stats =
+        analyzeDataflow(figure9Mask(), Dataflow::TokenParallelInOrder, 4);
+    EXPECT_EQ(stats.key_loads, 11u); // "11 Key Vectors"
+}
+
+TEST(Scheduler, Figure9OutOfOrderLoadsSeven)
+{
+    const auto stats =
+        analyzeDataflow(figure9Mask(), Dataflow::TokenParallelOoO, 4);
+    EXPECT_EQ(stats.key_loads, 7u); // "7 Key Vectors"
+}
+
+TEST(Scheduler, Figure9ScheduleCoversAndBalances)
+{
+    LocalityAwareScheduler las(4);
+    const SparseMask m = figure9Mask();
+    const GroupSchedule gs = las.scheduleGroup(m, 0);
+    EXPECT_TRUE(gs.covers(groupRows(m, 0, 4)));
+    EXPECT_EQ(gs.rounds.size(), 3u); // balanced rows -> k rounds
+    EXPECT_DOUBLE_EQ(gs.utilization(), 1.0);
+}
+
+TEST(Scheduler, Figure9FirstRoundSharesMostPopularKey)
+{
+    // Step-1 of Figure 10: the most-shared key (k2, id 1) is issued for
+    // three queries in the first round.
+    LocalityAwareScheduler las(4);
+    const GroupSchedule gs = las.scheduleGroup(figure9Mask(), 0);
+    const Round &first = gs.rounds[0];
+    bool found = false;
+    for (const Issue &is : first.issues)
+        if (is.key == 1 && is.popcount() == 3)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Scheduler, RowByRowEqualsNnz)
+{
+    Rng rng(161);
+    MaskProfile p;
+    p.retention = 0.1;
+    const SparseMask m = synthesizeMask(128, p, rng);
+    const auto stats = analyzeDataflow(m, Dataflow::RowByRow);
+    EXPECT_EQ(stats.key_loads, m.nnz());
+}
+
+class SchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, double>>
+{};
+
+TEST_P(SchedulerProperty, CoverageOnSynthesizedMasks)
+{
+    const auto [t, retention] = GetParam();
+    Rng rng(162);
+    MaskProfile p;
+    p.retention = retention;
+    const SparseMask m = synthesizeMask(64, p, rng);
+    LocalityAwareScheduler las(t);
+    for (size_t base = 0; base < m.rows(); base += t) {
+        const GroupSchedule gs = las.scheduleGroup(m, base);
+        EXPECT_TRUE(gs.covers(groupRows(m, base, t)))
+            << "group at " << base;
+    }
+}
+
+TEST_P(SchedulerProperty, OoONeverWorseThanInOrderNorBelowIdeal)
+{
+    const auto [t, retention] = GetParam();
+    Rng rng(163);
+    MaskProfile p;
+    p.retention = retention;
+    const SparseMask m = synthesizeMask(96, p, rng);
+    const auto ooo = analyzeDataflow(m, Dataflow::TokenParallelOoO, t);
+    const auto ino =
+        analyzeDataflow(m, Dataflow::TokenParallelInOrder, t);
+    EXPECT_LE(ooo.key_loads, ino.key_loads);
+    EXPECT_GE(ooo.key_loads, ooo.ideal_loads);
+    EXPECT_EQ(ooo.connections, m.nnz());
+    EXPECT_EQ(ino.connections, m.nnz());
+}
+
+TEST_P(SchedulerProperty, BalancedMasksFullyUtilize)
+{
+    const auto [t, retention] = GetParam();
+    Rng rng(164);
+    MaskProfile p;
+    p.retention = retention;
+    const SparseMask m = synthesizeMask(64, p, rng);
+    ASSERT_TRUE(m.rowBalanced());
+    LocalityAwareScheduler las(t);
+    // Full groups of balanced rows achieve utilization 1.
+    for (size_t base = 0; base + t <= m.rows(); base += t) {
+        const GroupSchedule gs = las.scheduleGroup(m, base);
+        EXPECT_DOUBLE_EQ(gs.utilization(), 1.0);
+        EXPECT_EQ(gs.rounds.size(), m.row(base).size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperty,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{4},
+                                         size_t{6}),
+                       ::testing::Values(0.05, 0.1, 0.3)));
+
+TEST(Scheduler, UnbalancedRowsUnderutilize)
+{
+    SparseMask m(4, 16);
+    m.setRow(0, {0, 1, 2, 3, 4, 5});
+    m.setRow(1, {0});
+    m.setRow(2, {1});
+    m.setRow(3, {2});
+    LocalityAwareScheduler las(4);
+    const GroupSchedule gs = las.scheduleGroup(m, 0);
+    EXPECT_TRUE(gs.covers(groupRows(m, 0, 4)));
+    EXPECT_LT(gs.utilization(), 1.0);
+    EXPECT_EQ(gs.rounds.size(), 6u); // longest row dictates rounds
+}
+
+TEST(Scheduler, PartialTailGroup)
+{
+    SparseMask m(6, 8);
+    for (size_t r = 0; r < 6; ++r)
+        m.setRow(r, {0, static_cast<uint32_t>(r)});
+    LocalityAwareScheduler las(4);
+    const GroupSchedule tail = las.scheduleGroup(m, 4);
+    EXPECT_EQ(tail.active_rows, 2u);
+    EXPECT_TRUE(tail.covers(groupRows(m, 4, 4)));
+}
+
+TEST(Scheduler, EmptyGroupBeyondMask)
+{
+    SparseMask m(4, 8);
+    LocalityAwareScheduler las(4);
+    const GroupSchedule gs = las.scheduleGroup(m, 8);
+    EXPECT_EQ(gs.active_rows, 0u);
+    EXPECT_TRUE(gs.rounds.empty());
+}
+
+TEST(Scheduler, DuplicatedSharedKeysReissued)
+{
+    // A key shared by all queries but needed twice by none: issued once.
+    SparseMask m(2, 4);
+    m.setRow(0, {0, 1});
+    m.setRow(1, {0, 2});
+    LocalityAwareScheduler las(2);
+    const GroupSchedule gs = las.scheduleGroup(m, 0);
+    EXPECT_TRUE(gs.covers(groupRows(m, 0, 2)));
+    EXPECT_EQ(gs.keyLoads(), 3u); // key 0 shared, 1 and 2 separate
+}
+
+TEST(Scheduler, BufferCount)
+{
+    EXPECT_EQ(LocalityAwareScheduler(4).bufferCount(), 15u);
+    EXPECT_EQ(LocalityAwareScheduler(6).bufferCount(), 63u);
+    EXPECT_EQ(LocalityAwareScheduler(1).bufferCount(), 1u);
+}
+
+TEST(Scheduler, RoundServesEachQueryAtMostOnce)
+{
+    Rng rng(165);
+    MaskProfile p;
+    p.retention = 0.2;
+    const SparseMask m = synthesizeMask(32, p, rng);
+    LocalityAwareScheduler las(4);
+    for (size_t base = 0; base < 32; base += 4) {
+        const GroupSchedule gs = las.scheduleGroup(m, base);
+        for (const Round &r : gs.rounds) {
+            uint32_t seen = 0;
+            for (const Issue &is : r.issues) {
+                EXPECT_EQ(seen & is.query_mask, 0u);
+                seen |= is.query_mask;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Property sweeps over the simulator configuration space: invariants
+ * that must hold for every (benchmark, mode, dataflow, parallelism)
+ * combination, guarding the cost model against regressions that a
+ * single-point test would miss.
+ */
+#include <gtest/gtest.h>
+
+#include "core/dota.hpp"
+
+namespace dota {
+namespace {
+
+using SimPoint = std::tuple<BenchmarkId, Dataflow, size_t>;
+
+class SimProperty : public ::testing::TestWithParam<SimPoint>
+{
+  protected:
+    static const DotaAccelerator &
+    accel()
+    {
+        static const DotaAccelerator acc(HwConfig::dotaScaledForGpu());
+        return acc;
+    }
+};
+
+TEST_P(SimProperty, CostsAreFiniteAndPositive)
+{
+    const auto [id, dataflow, t] = GetParam();
+    SimOptions opt;
+    opt.mode = DotaMode::Conservative;
+    opt.dataflow = dataflow;
+    opt.token_parallelism = t;
+    const RunReport r = accel().simulate(benchmark(id), opt);
+    EXPECT_GT(r.totalCycles(), 0u);
+    EXPECT_GT(r.per_layer.linear.cycles, 0u);
+    EXPECT_GT(r.per_layer.attention.cycles, 0u);
+    EXPECT_GT(r.totalEnergyJ(), 0.0);
+    EXPECT_TRUE(std::isfinite(r.totalEnergyJ()));
+    EXPECT_TRUE(std::isfinite(r.timeMs()));
+}
+
+TEST_P(SimProperty, SparseModesNeverSlowerThanDense)
+{
+    const auto [id, dataflow, t] = GetParam();
+    SimOptions opt;
+    opt.dataflow = dataflow;
+    opt.token_parallelism = t;
+    opt.mode = DotaMode::Full;
+    const uint64_t full = accel().simulate(benchmark(id), opt)
+                              .per_layer.attention.cycles;
+    opt.mode = DotaMode::Conservative;
+    const RunReport cons = accel().simulate(benchmark(id), opt);
+    EXPECT_LT(cons.per_layer.attention.cycles +
+                  cons.per_layer.detection.cycles,
+              full);
+}
+
+TEST_P(SimProperty, MacsMatchSparsityAccounting)
+{
+    const auto [id, dataflow, t] = GetParam();
+    const Benchmark &b = benchmark(id);
+    SimOptions opt;
+    opt.mode = DotaMode::Conservative;
+    opt.dataflow = dataflow;
+    opt.token_parallelism = t;
+    const RunReport r = accel().simulate(b, opt);
+    // Attention MACs = 2 (QK^T + AV) * heads * nnz * head_dim, and nnz
+    // is bounded by retention (the row-balance constraint rounds per
+    // row, and causal masks clip early rows).
+    const double n = static_cast<double>(b.paper_shape.seq_len);
+    const double bound = 2.0 * b.paper_shape.heads *
+                         (b.retention_conservative * n + 1.0) * n *
+                         b.paper_shape.headDim();
+    EXPECT_LE(static_cast<double>(r.per_layer.attention.macs),
+              bound * 1.05);
+    EXPECT_GT(r.per_layer.attention.macs, 0u);
+}
+
+TEST_P(SimProperty, EnergyDominatedByLinear)
+{
+    // Section 5.4: with detection enabled the FC/linear stage dominates
+    // energy on every benchmark.
+    const auto [id, dataflow, t] = GetParam();
+    SimOptions opt;
+    opt.mode = DotaMode::Conservative;
+    opt.dataflow = dataflow;
+    opt.token_parallelism = t;
+    const RunReport r = accel().simulate(benchmark(id), opt);
+    EXPECT_GT(r.per_layer.linear.energy_pj,
+              0.5 * r.per_layer.totalEnergyPj());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimProperty,
+    ::testing::Combine(
+        ::testing::Values(BenchmarkId::QA, BenchmarkId::Image,
+                          BenchmarkId::Text, BenchmarkId::LM),
+        ::testing::Values(Dataflow::TokenParallelOoO,
+                          Dataflow::TokenParallelInOrder),
+        ::testing::Values(size_t{2}, size_t{4})),
+    [](const ::testing::TestParamInfo<SimPoint> &info) {
+        // NOTE: no structured bindings here — the comma inside the
+        // bracket list would split the macro arguments.
+        const std::string df =
+            std::get<1>(info.param) == Dataflow::TokenParallelOoO
+                ? "OoO"
+                : "InOrder";
+        return benchmark(std::get<0>(info.param)).name + "_" + df +
+               "_T" + std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the SparseMask representation.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/sparse_mask.hpp"
+#include "tensor/topk.hpp"
+
+namespace dota {
+namespace {
+
+TEST(SparseMask, DenseRoundTrip)
+{
+    Rng rng(61);
+    Matrix scores = Matrix::randomNormal(12, 12, rng);
+    const Matrix dense = topkMask(scores, 3);
+    const SparseMask sparse = SparseMask::fromDense(dense);
+    EXPECT_EQ(sparse.nnz(), 36u);
+    EXPECT_TRUE(Matrix::allClose(sparse.toDense(), dense));
+}
+
+TEST(SparseMask, SetRowSortsAndDedups)
+{
+    SparseMask m(2, 10);
+    m.setRow(0, {5, 1, 5, 3});
+    const auto &row = m.row(0);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0], 1u);
+    EXPECT_EQ(row[1], 3u);
+    EXPECT_EQ(row[2], 5u);
+}
+
+TEST(SparseMask, AddConnectionThenSort)
+{
+    SparseMask m(1, 8);
+    m.addConnection(0, 7);
+    m.addConnection(0, 2);
+    m.addConnection(0, 7);
+    m.sortRows();
+    ASSERT_EQ(m.row(0).size(), 2u);
+    EXPECT_EQ(m.row(0)[0], 2u);
+}
+
+TEST(SparseMask, DensityAndBalance)
+{
+    SparseMask m(4, 10);
+    for (size_t r = 0; r < 4; ++r)
+        m.setRow(r, {0, static_cast<uint32_t>(r + 1)});
+    EXPECT_DOUBLE_EQ(m.density(), 8.0 / 40.0);
+    EXPECT_TRUE(m.rowBalanced());
+    m.setRow(3, {1, 2, 3});
+    EXPECT_FALSE(m.rowBalanced());
+}
+
+TEST(SparseMask, DistinctKeys)
+{
+    SparseMask m(3, 10);
+    m.setRow(0, {1, 2});
+    m.setRow(1, {2, 3});
+    m.setRow(2, {3, 4});
+    EXPECT_EQ(m.distinctKeys(), 4u);
+}
+
+TEST(SparseMask, Contains)
+{
+    SparseMask m(1, 100);
+    m.setRow(0, {10, 50, 90});
+    EXPECT_TRUE(m.contains(0, 50));
+    EXPECT_FALSE(m.contains(0, 51));
+}
+
+TEST(SparseMask, EmptyMask)
+{
+    SparseMask m(5, 5);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_DOUBLE_EQ(m.density(), 0.0);
+    EXPECT_TRUE(m.rowBalanced());
+    EXPECT_EQ(m.distinctKeys(), 0u);
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit and property tests for row-wise selection (the Detector's
+ * selection step and the row-balance constraint).
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/topk.hpp"
+
+namespace dota {
+namespace {
+
+TEST(TopK, RowTopKPicksLargest)
+{
+    Matrix s(1, 5, std::vector<float>{0.1f, 0.9f, 0.5f, 0.7f, 0.2f});
+    auto ids = rowTopK(s, 0, 2);
+    std::sort(ids.begin(), ids.end());
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], 1u);
+    EXPECT_EQ(ids[1], 3u);
+}
+
+TEST(TopK, DeterministicTieBreak)
+{
+    Matrix s(1, 4, 1.0f);
+    auto a = rowTopK(s, 0, 2);
+    auto b = rowTopK(s, 0, 2);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a[0], 0u); // lowest indices win ties
+    EXPECT_EQ(a[1], 1u);
+}
+
+TEST(TopK, KLargerThanColsClamps)
+{
+    Matrix s(1, 3, 1.0f);
+    EXPECT_EQ(rowTopK(s, 0, 10).size(), 3u);
+}
+
+class TopkMaskProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{};
+
+TEST_P(TopkMaskProperty, ExactlyKPerRow)
+{
+    const auto [n, k] = GetParam();
+    Rng rng(41);
+    const Matrix s = Matrix::randomNormal(n, n, rng);
+    const Matrix mask = topkMask(s, k);
+    for (size_t r = 0; r < n; ++r)
+        EXPECT_EQ(maskRowCount(mask, r), std::min(k, n))
+            << "row " << r;
+}
+
+TEST_P(TopkMaskProperty, SelectedDominateOmitted)
+{
+    const auto [n, k] = GetParam();
+    Rng rng(42);
+    const Matrix s = Matrix::randomNormal(n, n, rng);
+    const Matrix mask = topkMask(s, k);
+    for (size_t r = 0; r < n; ++r) {
+        float min_kept = 1e30f, max_omitted = -1e30f;
+        for (size_t c = 0; c < n; ++c) {
+            if (mask(r, c) != 0.0f)
+                min_kept = std::min(min_kept, s(r, c));
+            else
+                max_omitted = std::max(max_omitted, s(r, c));
+        }
+        if (k < n) {
+            EXPECT_GE(min_kept, max_omitted) << "row " << r;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopkMaskProperty,
+    ::testing::Values(std::make_tuple(8, 1), std::make_tuple(16, 3),
+                      std::make_tuple(32, 8), std::make_tuple(17, 5),
+                      std::make_tuple(10, 10)));
+
+TEST(TopK, CausalMaskLowerTriangular)
+{
+    Rng rng(43);
+    const Matrix s = Matrix::randomNormal(12, 12, rng);
+    const Matrix mask = topkMaskCausal(s, 4);
+    for (size_t r = 0; r < 12; ++r) {
+        for (size_t c = r + 1; c < 12; ++c)
+            EXPECT_FLOAT_EQ(mask(r, c), 0.0f);
+        EXPECT_EQ(maskRowCount(mask, r), std::min<size_t>(4, r + 1));
+    }
+}
+
+TEST(TopK, ThresholdMask)
+{
+    Matrix s(1, 4, std::vector<float>{-1, 0, 1, 2});
+    const Matrix mask = thresholdMask(s, 0.5f);
+    EXPECT_FLOAT_EQ(mask(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(mask(0, 2), 1.0f);
+    EXPECT_FLOAT_EQ(mask(0, 3), 1.0f);
+}
+
+TEST(TopK, ThresholdForRetentionHitsTarget)
+{
+    Rng rng(44);
+    const Matrix s = Matrix::randomNormal(64, 64, rng);
+    for (double retention : {0.05, 0.1, 0.25, 0.5}) {
+        const float thr = thresholdForRetention(s, retention);
+        const Matrix mask = thresholdMask(s, thr);
+        EXPECT_NEAR(maskDensity(mask), retention, 0.01);
+    }
+}
+
+TEST(TopK, MaskDensity)
+{
+    Matrix mask(2, 4);
+    mask(0, 0) = 1.0f;
+    mask(1, 3) = 1.0f;
+    EXPECT_DOUBLE_EQ(maskDensity(mask), 0.25);
+    EXPECT_DOUBLE_EQ(maskDensity(Matrix()), 0.0);
+}
+
+TEST(TopK, RecallPerfectWhenMaskIsTopk)
+{
+    Rng rng(45);
+    const Matrix s = Matrix::randomNormal(10, 10, rng);
+    const Matrix mask = topkMask(s, 3);
+    EXPECT_DOUBLE_EQ(topkRecall(s, mask, 3), 1.0);
+}
+
+TEST(TopK, RecallZeroWhenMaskIsBottomk)
+{
+    Rng rng(46);
+    const Matrix s = Matrix::randomNormal(10, 10, rng);
+    const Matrix inverted = scale(s, -1.0f);
+    const Matrix mask = topkMask(inverted, 3);
+    EXPECT_LT(topkRecall(s, mask, 3), 0.05);
+}
+
+TEST(TopK, MassRecallBounds)
+{
+    Rng rng(47);
+    const Matrix s = Matrix::randomNormal(8, 8, rng);
+    const Matrix full(8, 8, 1.0f);
+    EXPECT_NEAR(attentionMassRecall(s, full), 1.0, 1e-6);
+    const Matrix none(8, 8, 0.0f);
+    EXPECT_NEAR(attentionMassRecall(s, none), 0.0, 1e-9);
+    const Matrix top = topkMask(s, 2);
+    const double mass = attentionMassRecall(s, top);
+    EXPECT_GT(mass, 2.0 / 8.0); // top-k beats uniform share
+    EXPECT_LE(mass, 1.0);
+}
+
+TEST(TopK, MassRecallMonotoneInK)
+{
+    Rng rng(48);
+    const Matrix s = Matrix::randomNormal(16, 16, rng);
+    double prev = 0.0;
+    for (size_t k : {1u, 2u, 4u, 8u, 16u}) {
+        const double mass = attentionMassRecall(s, topkMask(s, k));
+        EXPECT_GE(mass, prev);
+        prev = mass;
+    }
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the end-to-end transformer models and the encoder block.
+ */
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "nn/transformer.hpp"
+
+namespace dota {
+namespace {
+
+TransformerConfig
+tinyCfg()
+{
+    TransformerConfig cfg;
+    cfg.in_dim = 8;
+    cfg.dim = 16;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.ffn_dim = 32;
+    cfg.classes = 3;
+    cfg.vocab = 20;
+    cfg.max_seq = 24;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(EncoderBlock, ShapePreserved)
+{
+    Rng rng(101);
+    EncoderBlock blk("b", 0, 16, 2, 32, rng);
+    const Matrix x = Matrix::randomNormal(6, 16, rng);
+    const Matrix y = blk.forward(x);
+    EXPECT_EQ(y.rows(), 6u);
+    EXPECT_EQ(y.cols(), 16u);
+}
+
+TEST(EncoderBlock, ParamCount)
+{
+    Rng rng(102);
+    EncoderBlock blk("b", 0, 16, 2, 32, rng);
+    // attn 4*16*16 + ln1 2*16 + fc1 16*32+32 + fc2 32*16+16 + ln2 2*16
+    EXPECT_EQ(blk.numParams(),
+              4u * 256 + 32 + (512 + 32) + (512 + 16) + 32);
+}
+
+TEST(EncoderBlock, GradCheckThroughBlock)
+{
+    Rng rng(103);
+    EncoderBlock blk("b", 0, 8, 2, 16, rng, Activation::GELU);
+    const Matrix x = Matrix::randomNormal(4, 8, rng);
+    const Matrix w = Matrix::randomNormal(4, 8, rng);
+
+    blk.zeroGrad();
+    blk.forward(x);
+    blk.backward(w);
+
+    auto loss = [&]() {
+        const Matrix y = blk.forward(x);
+        double acc = 0.0;
+        for (size_t i = 0; i < y.size(); ++i)
+            acc += static_cast<double>(w.data()[i]) * y.data()[i];
+        return acc;
+    };
+    std::vector<Parameter *> ps;
+    blk.collectParams(ps);
+    Rng probe(6);
+    for (Parameter *p : ps) {
+        auto res = checkGradient(loss, *p, 4, 1e-3, probe);
+        EXPECT_LT(res.max_rel_err, 5e-2) << p->name;
+    }
+}
+
+TEST(Classifier, ForwardShape)
+{
+    TransformerClassifier model(tinyCfg());
+    Rng rng(104);
+    const Matrix x = Matrix::randomNormal(10, 8, rng);
+    const Matrix logits = model.forward(x);
+    EXPECT_EQ(logits.rows(), 1u);
+    EXPECT_EQ(logits.cols(), 3u);
+}
+
+TEST(Classifier, DeterministicForward)
+{
+    TransformerClassifier a(tinyCfg()), b(tinyCfg());
+    Rng rng(105);
+    const Matrix x = Matrix::randomNormal(6, 8, rng);
+    EXPECT_TRUE(Matrix::allClose(a.forward(x), b.forward(x)));
+}
+
+TEST(Classifier, GradFlowsToInputLayer)
+{
+    TransformerClassifier model(tinyCfg());
+    Rng rng(106);
+    const Matrix x = Matrix::randomNormal(6, 8, rng);
+    model.zeroGrad();
+    model.forward(x);
+    Matrix dl(1, 3, 1.0f);
+    model.backward(dl);
+    std::vector<Parameter *> ps;
+    model.collectParams(ps);
+    double total = 0.0;
+    for (Parameter *p : ps)
+        total += p->grad.frobeniusNorm();
+    EXPECT_GT(total, 0.0);
+    // Every parameter receives some gradient.
+    for (Parameter *p : ps)
+        EXPECT_GT(p->grad.frobeniusNorm(), 0.0) << p->name;
+}
+
+TEST(Classifier, TrainingReducesLoss)
+{
+    TransformerConfig cfg = tinyCfg();
+    TransformerClassifier model(cfg);
+    Rng rng(107);
+    // Learn a fixed tiny mapping: 8 samples with random labels.
+    std::vector<Matrix> xs;
+    std::vector<int> ys;
+    for (int i = 0; i < 8; ++i) {
+        xs.push_back(Matrix::randomNormal(6, 8, rng));
+        ys.push_back(static_cast<int>(rng.uniformInt(3)));
+    }
+    std::vector<Parameter *> ps;
+    model.collectParams(ps);
+    AdamConfig acfg;
+    acfg.lr = 3e-3;
+    Adam opt(ps, acfg);
+    double first = 0.0, last = 0.0;
+    for (int step = 0; step < 40; ++step) {
+        opt.zeroGrad();
+        double loss = 0.0;
+        for (size_t i = 0; i < xs.size(); ++i) {
+            const Matrix logits = model.forward(xs[i]);
+            Matrix dl;
+            loss += softmaxCrossEntropy(logits, {ys[i]}, dl);
+            model.backward(dl);
+        }
+        if (step == 0)
+            first = loss;
+        last = loss;
+        opt.step();
+    }
+    EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(CausalLM, ForwardShape)
+{
+    CausalLM lm(tinyCfg());
+    const std::vector<int> ids{1, 2, 3, 4, 5};
+    const Matrix logits = lm.forward(ids);
+    EXPECT_EQ(logits.rows(), 5u);
+    EXPECT_EQ(logits.cols(), 20u);
+}
+
+TEST(CausalLM, CausalityHolds)
+{
+    // Changing a future token must not affect earlier logits.
+    CausalLM lm(tinyCfg());
+    std::vector<int> ids{1, 2, 3, 4, 5, 6};
+    const Matrix before = lm.forward(ids);
+    ids[5] = 9;
+    const Matrix after = lm.forward(ids);
+    for (size_t r = 0; r < 5; ++r)
+        for (size_t c = 0; c < before.cols(); ++c)
+            EXPECT_NEAR(before(r, c), after(r, c), 1e-5);
+}
+
+TEST(CausalLM, LossIsNextTokenPrediction)
+{
+    CausalLM lm(tinyCfg());
+    const std::vector<int> ids{3, 3, 3, 3};
+    const double loss = lm.lmLoss(ids, /*train=*/false);
+    EXPECT_GT(loss, 0.0);
+    EXPECT_LT(loss, std::log(20.0) + 2.0); // near-uniform at init
+}
+
+TEST(CausalLM, TrainingImprovesConstantSequence)
+{
+    TransformerConfig cfg = tinyCfg();
+    cfg.layers = 1;
+    CausalLM lm(cfg);
+    std::vector<Parameter *> ps;
+    lm.collectParams(ps);
+    AdamConfig acfg;
+    acfg.lr = 5e-3;
+    Adam opt(ps, acfg);
+    const std::vector<int> ids{7, 7, 7, 7, 7, 7};
+    const double before = lm.lmLoss(ids, false);
+    for (int step = 0; step < 30; ++step) {
+        opt.zeroGrad();
+        lm.lmLoss(ids, true);
+        opt.step();
+    }
+    const double after = lm.lmLoss(ids, false);
+    EXPECT_LT(after, 0.3 * before);
+}
+
+TEST(CausalLM, RejectsOverlongSequence)
+{
+    CausalLM lm(tinyCfg());
+    std::vector<int> ids(25, 1); // max_seq is 24
+    EXPECT_DEATH(lm.forward(ids), "exceeds max");
+}
+
+} // namespace
+} // namespace dota

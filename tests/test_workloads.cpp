@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for benchmark definitions and the synthetic tasks.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/benchmark.hpp"
+#include "workloads/synthetic_task.hpp"
+
+namespace dota {
+namespace {
+
+TEST(Benchmarks, FivePaperBenchmarks)
+{
+    const auto &all = allBenchmarks();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "QA");
+    EXPECT_EQ(all[4].name, "LM");
+    EXPECT_EQ(benchmarkByName("Retrieval").paper_shape.seq_len, 4096u);
+}
+
+TEST(Benchmarks, PaperShapes)
+{
+    const Benchmark &qa = benchmark(BenchmarkId::QA);
+    EXPECT_EQ(qa.paper_shape.layers, 24u); // BERT-large
+    EXPECT_EQ(qa.paper_shape.dim, 1024u);
+    EXPECT_EQ(qa.paper_shape.heads, 16u);
+    EXPECT_EQ(qa.paper_shape.seq_len, 384u);
+    EXPECT_FALSE(qa.paper_shape.decoder);
+
+    const Benchmark &lm = benchmark(BenchmarkId::LM);
+    EXPECT_TRUE(lm.paper_shape.decoder);
+    EXPECT_TRUE(lm.perplexity);
+    EXPECT_EQ(lm.paper_shape.dim, 768u); // GPT-2
+}
+
+TEST(Benchmarks, RetentionOrdering)
+{
+    for (const Benchmark &b : allBenchmarks()) {
+        EXPECT_GT(b.retention_conservative, 0.0);
+        EXPECT_LE(b.retention_conservative, 0.25);
+        EXPECT_LE(b.retention_aggressive, b.retention_conservative);
+    }
+}
+
+TEST(Benchmarks, HeadsDivisibleByFourLanes)
+{
+    // Section 4.1: 4 is the least common multiple of head counts.
+    for (const Benchmark &b : allBenchmarks())
+        EXPECT_EQ(b.paper_shape.heads % 4, 0u) << b.name;
+}
+
+TEST(Benchmarks, MacCountsMatchFormulas)
+{
+    ModelShape s{2, 64, 4, 128, 32, false};
+    EXPECT_EQ(s.linearMacs(), 4ull * 32 * 64 * 64);
+    EXPECT_EQ(s.attentionMacs(), 2ull * 32 * 32 * 64);
+    EXPECT_EQ(s.ffnMacs(), 2ull * 32 * 64 * 128);
+    EXPECT_EQ(s.totalMacs(),
+              2 * (s.linearMacs() + s.attentionMacs() + s.ffnMacs()));
+}
+
+TEST(Benchmarks, AttentionFractionGrowsWithSequence)
+{
+    // The Figure 3 trend: attention dominates FLOPs as n grows.
+    double prev = 0.0;
+    for (size_t n : {384u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+        ModelShape s{24, 1024, 16, 4096, n, false};
+        const double frac =
+            static_cast<double>(s.attentionMacs()) /
+            static_cast<double>(s.linearMacs() + s.attentionMacs() +
+                                s.ffnMacs());
+        EXPECT_GT(frac, prev);
+        prev = frac;
+    }
+    EXPECT_GT(prev, 0.5); // attention dominates at 16K
+}
+
+TEST(Benchmarks, UnknownNameFatal)
+{
+    EXPECT_DEATH(benchmarkByName("Nope"), "unknown benchmark");
+}
+
+TEST(SyntheticTask, ShapesAndLabels)
+{
+    TaskConfig cfg;
+    cfg.seq_len = 64;
+    cfg.in_dim = 12;
+    cfg.classes = 4;
+    SyntheticTask task(cfg);
+    Rng rng(111);
+    for (int i = 0; i < 20; ++i) {
+        const Sample s = task.sample(rng);
+        EXPECT_EQ(s.features.rows(), 64u);
+        EXPECT_EQ(s.features.cols(), 12u);
+        EXPECT_GE(s.label, 0);
+        EXPECT_LT(s.label, 4);
+    }
+}
+
+TEST(SyntheticTask, SignalTokensMarked)
+{
+    TaskConfig cfg;
+    cfg.seq_len = 64;
+    cfg.in_dim = 12;
+    cfg.signal_count = 5;
+    SyntheticTask task(cfg);
+    Rng rng(112);
+    const Sample s = task.sample(rng);
+    const auto &sig = task.lastSignalPositions();
+    ASSERT_EQ(sig.size(), 5u);
+    for (size_t p : sig)
+        EXPECT_GT(s.features(p, 0), 1.0f); // marker dimension set
+    // Non-signal tokens have no marker.
+    std::set<size_t> sigset(sig.begin(), sig.end());
+    for (size_t i = 0; i < 64; ++i) {
+        if (!sigset.count(i)) {
+            EXPECT_FLOAT_EQ(s.features(i, 0), 0.0f);
+        }
+    }
+}
+
+TEST(SyntheticTask, LabelsBalanced)
+{
+    TaskConfig cfg;
+    cfg.classes = 4;
+    SyntheticTask task(cfg);
+    Rng rng(113);
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 400; ++i)
+        counts[task.sample(rng).label]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 100, 40);
+}
+
+TEST(SyntheticTask, LocalityClustersSignals)
+{
+    TaskConfig spread;
+    spread.seq_len = 256;
+    spread.signal_count = 8;
+    spread.locality = 0.0;
+    TaskConfig local = spread;
+    local.locality = 1.0;
+
+    auto meanSpan = [](const TaskConfig &cfg, uint64_t seed) {
+        SyntheticTask task(cfg);
+        Rng rng(seed);
+        double acc = 0.0;
+        for (int i = 0; i < 50; ++i) {
+            task.sample(rng);
+            const auto &sig = task.lastSignalPositions();
+            acc += static_cast<double>(sig.back() - sig.front());
+        }
+        return acc / 50.0;
+    };
+    EXPECT_LT(meanSpan(local, 114), 0.5 * meanSpan(spread, 114));
+}
+
+TEST(SyntheticTask, MatchKindTwoClasses)
+{
+    TaskConfig cfg;
+    cfg.kind = TaskKind::Match;
+    cfg.classes = 7; // forced to 2
+    SyntheticTask task(cfg);
+    EXPECT_EQ(task.numClasses(), 2u);
+    Rng rng(115);
+    std::set<int> labels;
+    for (int i = 0; i < 50; ++i)
+        labels.insert(task.sample(rng).label);
+    EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(SyntheticTask, MatchSignalsInBothHalves)
+{
+    TaskConfig cfg;
+    cfg.kind = TaskKind::Match;
+    cfg.seq_len = 128;
+    cfg.signal_count = 4;
+    SyntheticTask task(cfg);
+    Rng rng(116);
+    task.sample(rng);
+    const auto &sig = task.lastSignalPositions();
+    ASSERT_EQ(sig.size(), 8u);
+    size_t first_half = 0;
+    for (size_t p : sig)
+        first_half += p < 64;
+    EXPECT_EQ(first_half, 4u);
+}
+
+TEST(Grammar, SequenceProperties)
+{
+    GrammarConfig cfg;
+    cfg.seq_len = 200;
+    SyntheticGrammar g(cfg);
+    Rng rng(117);
+    const auto seq = g.sample(rng);
+    EXPECT_EQ(seq.size(), 200u);
+    for (int t : seq) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, static_cast<int>(cfg.vocab));
+    }
+}
+
+TEST(Grammar, CopyDependencyHolds)
+{
+    GrammarConfig cfg;
+    cfg.seq_len = 400;
+    cfg.period = 12;
+    SyntheticGrammar g(cfg);
+    Rng rng(118);
+    const auto seq = g.sample(rng);
+    // Every trigger is followed by the same payload as the previous one.
+    int prev_payload = -1;
+    int triggers = 0;
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+        if (seq[i] == g.triggerToken()) {
+            ++triggers;
+            if (prev_payload >= 0) {
+                EXPECT_EQ(seq[i + 1], prev_payload) << "at " << i;
+            }
+            prev_payload = seq[i + 1];
+        }
+    }
+    EXPECT_GT(triggers, 5); // the pattern actually occurs
+}
+
+TEST(Grammar, DeterministicGivenSeeds)
+{
+    GrammarConfig cfg;
+    SyntheticGrammar a(cfg), b(cfg);
+    Rng r1(9), r2(9);
+    EXPECT_EQ(a.sample(r1), b.sample(r2));
+}
+
+} // namespace
+} // namespace dota
