@@ -6,6 +6,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hpp"
 #include "detect/detector.hpp"
 #include "sched/dataflow.hpp"
 #include "tensor/ops.hpp"
@@ -30,7 +31,7 @@ BM_Gemm(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                             static_cast<int64_t>(n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void
 BM_GemmBT(benchmark::State &state)
@@ -124,4 +125,18 @@ BENCHMARK(BM_DetectorEstimate)->Arg(128)->Arg(384);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    // Surface the parallel-execution configuration in the report header
+    // so GEMM numbers are attributable to a thread count.
+    benchmark::AddCustomContext(
+        "dota_threads",
+        std::to_string(dota::ThreadPool::globalConcurrency()));
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

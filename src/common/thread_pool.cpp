@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Implementation of the bounded thread pool and parallelFor.
+ */
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+#include "common/logging.hpp"
+
+namespace dota {
+
+namespace {
+
+/** 0 on every non-pool thread; workers carry 1..concurrency-1. */
+thread_local int tl_slot = 0;
+
+constexpr size_t kMaxThreads = 256;
+
+} // namespace
+
+size_t
+configuredThreads()
+{
+    const size_t env = envSizeT("DOTA_THREADS", 0);
+    if (env > 0)
+        return std::min(env, kMaxThreads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t concurrency, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(queue_capacity, 1))
+{
+    if (concurrency == 0)
+        concurrency = configuredThreads();
+    concurrency_.store(std::max<size_t>(concurrency, 1),
+                       std::memory_order_relaxed);
+    spawnWorkers();
+}
+
+ThreadPool::~ThreadPool()
+{
+    joinWorkers();
+    // With zero workers, completed-job stubs can linger; run them so no
+    // submitted task is silently dropped.
+    for (auto &task : queue_)
+        task();
+    queue_.clear();
+}
+
+void
+ThreadPool::spawnWorkers()
+{
+    const size_t n = concurrency();
+    workers_.reserve(n > 0 ? n - 1 : 0);
+    for (size_t s = 1; s < n; ++s)
+        workers_.emplace_back(
+            [this, s] { workerMain(static_cast<int>(s)); });
+}
+
+void
+ThreadPool::joinWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;
+}
+
+void
+ThreadPool::resize(size_t concurrency)
+{
+    concurrency = std::max<size_t>(std::min(concurrency, kMaxThreads), 1);
+    if (concurrency == this->concurrency())
+        return;
+    joinWorkers(); // workers drain the queue before exiting
+    std::deque<std::function<void()>> leftover;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        leftover.swap(queue_);
+        concurrency_.store(concurrency, std::memory_order_relaxed);
+    }
+    for (auto &task : leftover)
+        task();
+    spawnWorkers();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    if (concurrency() <= 1) {
+        fn(); // serial pool: nothing would ever drain the queue
+        return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (inWorker() && queue_.size() >= queue_capacity_) {
+        lk.unlock();
+        fn(); // nested-submit deadlock guard
+        return;
+    }
+    not_full_.wait(lk, [this] {
+        return queue_.size() < queue_capacity_ || stop_;
+    });
+    if (stop_) {
+        lk.unlock();
+        fn(); // shutting down / resizing: degrade to inline execution
+        return;
+    }
+    queue_.push_back(std::move(fn));
+    lk.unlock();
+    not_empty_.notify_one();
+}
+
+void
+ThreadPool::workerMain(int slot)
+{
+    tl_slot = slot;
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            not_empty_.wait(lk,
+                            [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop requested and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        not_full_.notify_one();
+        task();
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreads());
+    return pool;
+}
+
+size_t
+ThreadPool::globalConcurrency()
+{
+    return global().concurrency();
+}
+
+void
+ThreadPool::setGlobalConcurrency(size_t n)
+{
+    global().resize(n);
+}
+
+int
+ThreadPool::slot()
+{
+    return tl_slot;
+}
+
+namespace {
+
+/** Shared state of one parallelFor invocation. */
+struct ParallelJob
+{
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t chunks = 0;
+    const std::function<void(size_t, size_t)> *body = nullptr;
+    std::atomic<size_t> next{0};    ///< next unclaimed chunk
+    std::atomic<bool> failed{false};
+    size_t done = 0;                ///< finished chunks, guarded by mu
+    std::exception_ptr error;       ///< first exception, guarded by mu
+    std::mutex mu;
+    std::condition_variable all_done;
+};
+
+/**
+ * Claim and run chunks until none remain. Safe to run from any number of
+ * threads; each chunk is claimed exactly once. Once the caller observed
+ * done == chunks every further claim fails immediately, so stale queued
+ * helpers never touch the (by then dead) body.
+ */
+void
+runParallelChunks(const std::shared_ptr<ParallelJob> &job)
+{
+    while (true) {
+        const size_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= job->chunks)
+            return;
+        const size_t lo = job->begin + c * job->grain;
+        const size_t hi = std::min(job->end, lo + job->grain);
+        if (!job->failed.load(std::memory_order_acquire)) {
+            try {
+                (*job->body)(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(job->mu);
+                if (!job->error)
+                    job->error = std::current_exception();
+                job->failed.store(true, std::memory_order_release);
+            }
+        }
+        std::lock_guard<std::mutex> lk(job->mu);
+        if (++job->done == job->chunks)
+            job->all_done.notify_all();
+    }
+}
+
+} // namespace
+
+void
+parallelFor(ThreadPool &pool, size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const size_t n = end - begin;
+    if (pool.concurrency() <= 1 || n <= grain || ThreadPool::inWorker()) {
+        fn(begin, end); // serial fallback / nested-parallelism guard
+        return;
+    }
+    auto job = std::make_shared<ParallelJob>();
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->chunks = (n + grain - 1) / grain;
+    job->body = &fn;
+    const size_t helpers =
+        std::min(pool.concurrency() - 1, job->chunks - 1);
+    for (size_t i = 0; i < helpers; ++i)
+        pool.submit([job] { runParallelChunks(job); });
+    runParallelChunks(job); // the caller works too
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->all_done.wait(lk, [&] { return job->done == job->chunks; });
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)> &fn)
+{
+    parallelFor(ThreadPool::global(), begin, end, grain, fn);
+}
+
+} // namespace dota

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dependency-free bounded thread pool and deterministic parallelFor.
+ *
+ * Every parallel hot path in DOTA (dense GEMMs, the batch trainer, the
+ * fleet simulator) runs through this pool. The design is deliberately
+ * minimal — one mutex-protected FIFO, no work stealing — so the
+ * concurrency story stays auditable:
+ *
+ *  - **Determinism contract.** parallelFor() partitions [begin, end) into
+ *    fixed chunks of @p grain indices. Chunks are claimed dynamically but
+ *    every index is processed by exactly one invocation of the body, so as
+ *    long as the body writes only to outputs owned by its index range the
+ *    result is bit-identical for every thread count (see DESIGN.md,
+ *    "Parallel execution").
+ *  - **Bounded queue.** submit() blocks once `queueCapacity()` tasks are
+ *    pending, so producers cannot outrun the workers without limit.
+ *  - **Nested-submit deadlock guard.** parallelFor() called from inside a
+ *    pool worker runs the whole range inline (serial), and submit() from a
+ *    worker whose queue is full executes the task inline instead of
+ *    blocking — a worker can therefore never wait on queue space that only
+ *    workers can free.
+ *
+ * The global pool's concurrency comes from the DOTA_THREADS environment
+ * variable: total thread count including the caller, default
+ * `std::thread::hardware_concurrency()`; `DOTA_THREADS=1` restores fully
+ * serial execution.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dota {
+
+/**
+ * Total concurrency requested via DOTA_THREADS (callers + workers), or
+ * hardware_concurrency() when unset/invalid. Always >= 1.
+ */
+size_t configuredThreads();
+
+/** Fixed-size pool of worker threads feeding on one bounded FIFO. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param concurrency     total thread count including the calling
+     *                        thread; the pool spawns `concurrency - 1`
+     *                        workers. 0 means configuredThreads().
+     * @param queue_capacity  bound on pending submitted tasks.
+     */
+    explicit ThreadPool(size_t concurrency = 0,
+                        size_t queue_capacity = kDefaultQueueCapacity);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + the calling thread). */
+    size_t concurrency() const
+    {
+        return concurrency_.load(std::memory_order_relaxed);
+    }
+
+    size_t queueCapacity() const { return queue_capacity_; }
+
+    /**
+     * Re-target the pool at a new total concurrency: drains pending
+     * tasks, joins the current workers and spawns a fresh set. Must only
+     * be called while no parallelFor() is in flight.
+     */
+    void resize(size_t concurrency);
+
+    /**
+     * Enqueue @p fn for asynchronous execution. Blocks while the queue is
+     * full — unless called from a pool worker (runs @p fn inline, the
+     * nested-submit deadlock guard) or the pool is serial / shutting down
+     * (also inline).
+     */
+    void submit(std::function<void()> fn);
+
+    /** The process-wide pool used by parallelFor() and the kernels. */
+    static ThreadPool &global();
+
+    /** Shorthand for global().concurrency(). */
+    static size_t globalConcurrency();
+
+    /**
+     * Resize the global pool (e.g. tests pinning DOTA_THREADS=1 vs 8
+     * behavior inside one process). Same idle-only caveat as resize().
+     */
+    static void setGlobalConcurrency(size_t n);
+
+    /**
+     * Slot of the calling thread: 0 for any non-pool thread (including
+     * the thread driving a parallelFor), 1..concurrency-1 for workers.
+     * Callers use this to index per-thread scratch (e.g. model replicas).
+     */
+    static int slot();
+
+    /** True when called from a pool worker thread. */
+    static bool inWorker() { return slot() > 0; }
+
+    static constexpr size_t kDefaultQueueCapacity = 4096;
+
+  private:
+    void spawnWorkers();
+    void joinWorkers();
+    void workerMain(int slot);
+
+    std::atomic<size_t> concurrency_{1};
+    size_t queue_capacity_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    bool stop_ = false;
+};
+
+/**
+ * Apply @p fn to [begin, end) in chunks of @p grain indices using
+ * @p pool. @p fn receives half-open sub-ranges [lo, hi); each index is
+ * covered exactly once. Runs inline (one call over the whole range) when
+ * the pool is serial, the range fits one grain, or the caller is itself a
+ * pool worker. The first exception thrown by @p fn is rethrown on the
+ * calling thread after all chunks finish or are skipped.
+ */
+void parallelFor(ThreadPool &pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)> &fn);
+
+/** parallelFor() on the global pool. */
+void parallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)> &fn);
+
+} // namespace dota

@@ -35,6 +35,9 @@ class MultiHeadAttention : public Module
     /** Install (or clear, with nullptr) the attention interceptor. */
     void setHook(AttentionHook *hook) { hook_ = hook; }
 
+    /** Currently installed interceptor (nullptr when none). */
+    AttentionHook *hook() const { return hook_; }
+
     /** Forward over (n x d); returns (n x d). */
     Matrix forward(const Matrix &x);
 

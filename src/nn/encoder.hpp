@@ -41,6 +41,7 @@ class EncoderBlock : public Module
     void collectParams(std::vector<Parameter *> &out) override;
 
     MultiHeadAttention &attention() { return attn_; }
+    const MultiHeadAttention &attention() const { return attn_; }
 
     /** Sub-layer accessors (used by the incremental decode path). */
     LayerNormLayer &ln1() { return ln1_; }

@@ -56,6 +56,15 @@ TransformerClassifier::setHook(AttentionHook *hook)
         blk->attention().setHook(hook);
 }
 
+bool
+TransformerClassifier::hasHook() const
+{
+    for (const auto &blk : blocks_)
+        if (blk->attention().hook())
+            return true;
+    return false;
+}
+
 void
 TransformerClassifier::collectParams(std::vector<Parameter *> &out)
 {
@@ -127,6 +136,15 @@ CausalLM::setHook(AttentionHook *hook)
 {
     for (auto &blk : blocks_)
         blk->attention().setHook(hook);
+}
+
+bool
+CausalLM::hasHook() const
+{
+    for (const auto &blk : blocks_)
+        if (blk->attention().hook())
+            return true;
+    return false;
 }
 
 void

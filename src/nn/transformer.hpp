@@ -52,6 +52,13 @@ class TransformerClassifier : public Module
     /** Install an attention hook into every block. */
     void setHook(AttentionHook *hook);
 
+    /**
+     * True when any block carries an attention hook. Hooked models are
+     * not replicable for batch parallelism (the hook is installed on this
+     * instance only), so the trainer falls back to serial batches.
+     */
+    bool hasHook() const;
+
     void collectParams(std::vector<Parameter *> &out) override;
 
     const TransformerConfig &config() const { return cfg_; }
@@ -89,6 +96,9 @@ class CausalLM : public Module
     double lmLoss(const std::vector<int> &ids, bool train);
 
     void setHook(AttentionHook *hook);
+
+    /** True when any block carries an attention hook (see above). */
+    bool hasHook() const;
 
     void collectParams(std::vector<Parameter *> &out) override;
 

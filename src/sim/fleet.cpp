@@ -5,6 +5,9 @@
 #include "sim/fleet.hpp"
 
 #include <algorithm>
+#include <set>
+
+#include "common/thread_pool.hpp"
 
 namespace dota {
 
@@ -20,16 +23,45 @@ FleetSimulator::FleetSimulator(FleetConfig cfg, const Benchmark &bench,
 double
 FleetSimulator::sequenceLatencyMs(size_t seq_len) const
 {
-    auto it = latency_cache_.find(seq_len);
-    if (it != latency_cache_.end())
-        return it->second;
-
+    {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        auto it = latency_cache_.find(seq_len);
+        if (it != latency_cache_.end())
+            return it->second;
+    }
     Benchmark b = bench_;
     b.paper_shape.seq_len = seq_len;
-    const RunReport report = accel_.simulate(b, opt_);
-    const double ms = report.timeMs();
+    const double ms = accel_.simulate(b, opt_).timeMs();
+    std::lock_guard<std::mutex> lk(cache_mu_);
     latency_cache_[seq_len] = ms;
     return ms;
+}
+
+void
+FleetSimulator::warmLatencyCache(const std::vector<size_t> &seq_lens) const
+{
+    std::vector<size_t> missing;
+    {
+        const std::set<size_t> distinct(seq_lens.begin(), seq_lens.end());
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        for (size_t n : distinct)
+            if (!latency_cache_.count(n))
+                missing.push_back(n);
+    }
+    if (missing.empty())
+        return;
+    // Each distinct length is an independent cycle-level simulation.
+    std::vector<double> ms(missing.size());
+    parallelFor(0, missing.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            Benchmark b = bench_;
+            b.paper_shape.seq_len = missing[i];
+            ms[i] = accel_.simulate(b, opt_).timeMs();
+        }
+    });
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    for (size_t i = 0; i < missing.size(); ++i)
+        latency_cache_[missing[i]] = ms[i];
 }
 
 FleetReport
@@ -40,12 +72,14 @@ FleetSimulator::run(const std::vector<size_t> &seq_lens) const
     if (seq_lens.empty())
         return report;
 
-    // LPT list scheduling: longest service time first, each job to the
-    // accelerator that frees up earliest.
+    warmLatencyCache(seq_lens);
     std::vector<double> service;
     service.reserve(seq_lens.size());
     for (size_t n : seq_lens)
         service.push_back(sequenceLatencyMs(n));
+
+    // LPT list scheduling: longest service time first, each job to the
+    // accelerator that frees up earliest.
     std::vector<size_t> order(seq_lens.size());
     for (size_t i = 0; i < order.size(); ++i)
         order[i] = i;
@@ -53,19 +87,42 @@ FleetSimulator::run(const std::vector<size_t> &seq_lens) const
         return service[a] > service[b];
     });
 
-    double latency_sum = 0.0;
+    // Phase 1 (serial): greedy earliest-available assignment. The running
+    // busy totals drive every target choice, so this stays sequential.
+    std::vector<std::vector<double>> assigned(cfg_.accelerators);
+    std::vector<double> busy(cfg_.accelerators, 0.0);
     for (size_t idx : order) {
         const auto target = static_cast<size_t>(
-            std::min_element(report.accel_busy_ms.begin(),
-                             report.accel_busy_ms.end()) -
-            report.accel_busy_ms.begin());
-        report.accel_busy_ms[target] += service[idx];
-        const double completion = report.accel_busy_ms[target];
-        latency_sum += completion;
-        report.latency.sample(completion);
-        report.max_latency_ms =
-            std::max(report.max_latency_ms, completion);
+            std::min_element(busy.begin(), busy.end()) - busy.begin());
+        busy[target] += service[idx];
+        assigned[target].push_back(service[idx]);
         report.total_work_ms += service[idx];
+    }
+
+    // Phase 2 (parallel): per-accelerator completion timelines — once
+    // jobs are assigned each accelerator's prefix sums are independent.
+    std::vector<std::vector<double>> completion(cfg_.accelerators);
+    parallelFor(0, cfg_.accelerators, 1, [&](size_t lo, size_t hi) {
+        for (size_t a = lo; a < hi; ++a) {
+            completion[a].reserve(assigned[a].size());
+            double t = 0.0;
+            for (double svc : assigned[a]) {
+                t += svc;
+                completion[a].push_back(t);
+            }
+        }
+    });
+
+    // Phase 3 (serial, fixed accelerator order): merge the statistics.
+    double latency_sum = 0.0;
+    for (size_t a = 0; a < cfg_.accelerators; ++a) {
+        report.accel_busy_ms[a] =
+            completion[a].empty() ? 0.0 : completion[a].back();
+        for (double done : completion[a]) {
+            latency_sum += done;
+            report.latency.sample(done);
+            report.max_latency_ms = std::max(report.max_latency_ms, done);
+        }
     }
     report.makespan_ms = *std::max_element(report.accel_busy_ms.begin(),
                                            report.accel_busy_ms.end());

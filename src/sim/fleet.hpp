@@ -11,10 +11,17 @@
  * reports makespan, latency distribution and per-accelerator
  * utilization. Per-length single-sequence latencies come from the
  * cycle-level DotaAccelerator model (cached per distinct length).
+ *
+ * run() itself is parallel (common/thread_pool.hpp, DOTA_THREADS): the
+ * per-length latency evaluations and the per-accelerator completion
+ * timelines are computed concurrently, while job-to-accelerator
+ * assignment and the final statistics merge stay serial in a fixed
+ * order, so a dispatch is bit-identical at every thread count.
  */
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "common/stats.hpp"
 #include "sim/accelerator.hpp"
@@ -56,9 +63,16 @@ class FleetSimulator
 
     /**
      * Single-sequence service time for a sequence of @p seq_len tokens
-     * (cached per distinct length).
+     * (cached per distinct length; thread-safe).
      */
     double sequenceLatencyMs(size_t seq_len) const;
+
+    /**
+     * Evaluate (in parallel) and cache the service time of every
+     * distinct length in @p seq_lens. run() calls this first; exposed so
+     * callers can pre-warm the cache explicitly.
+     */
+    void warmLatencyCache(const std::vector<size_t> &seq_lens) const;
 
     /**
      * Dispatch @p seq_lens greedily: longest job first onto the
@@ -73,6 +87,7 @@ class FleetSimulator
     Benchmark bench_;
     SimOptions opt_;
     DotaAccelerator accel_;
+    mutable std::mutex cache_mu_;
     mutable std::map<size_t, double> latency_cache_;
 };
 

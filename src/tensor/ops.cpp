@@ -4,10 +4,38 @@
  */
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace dota {
+
+namespace {
+
+/**
+ * Below this many MACs a GEMM stays serial: the fork/join cost of
+ * parallelFor outweighs the arithmetic. 2^18 puts the 64^3 layer-sized
+ * products right at the boundary and every attention-sized product above
+ * it.
+ */
+constexpr uint64_t kParallelMacThreshold = 1ull << 18;
+
+/**
+ * Row-block grain: ~4 chunks per thread so dynamic chunk claiming evens
+ * out load without creating per-row scheduling overhead. Each output row
+ * is written by exactly one chunk, so results are bit-identical for every
+ * thread count (the determinism contract in common/thread_pool.hpp).
+ */
+size_t
+gemmGrain(size_t rows)
+{
+    const size_t conc = ThreadPool::globalConcurrency();
+    return std::max<size_t>(1, rows / (4 * conc));
+}
+
+} // namespace
 
 Matrix
 matmul(const Matrix &a, const Matrix &b)
@@ -17,17 +45,23 @@ matmul(const Matrix &a, const Matrix &b)
     const size_t m = a.rows(), k = a.cols(), n = b.cols();
     Matrix c(m, n);
     // ikj loop order: streams over B rows, keeps C row hot.
-    for (size_t i = 0; i < m; ++i) {
-        float *crow = c.row(i);
-        for (size_t p = 0; p < k; ++p) {
-            const float av = a(i, p);
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.row(p);
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    auto rowBlock = [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            float *crow = c.row(i);
+            for (size_t p = 0; p < k; ++p) {
+                const float av = a(i, p);
+                if (av == 0.0f)
+                    continue;
+                const float *brow = b.row(p);
+                for (size_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    };
+    if (gemmMacs(m, k, n) < kParallelMacThreshold)
+        rowBlock(0, m);
+    else
+        parallelFor(0, m, gemmGrain(m), rowBlock);
     return c;
 }
 
@@ -38,17 +72,23 @@ matmulBT(const Matrix &a, const Matrix &b)
                 b.shapeStr());
     const size_t m = a.rows(), k = a.cols(), n = b.rows();
     Matrix c(m, n);
-    for (size_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (size_t j = 0; j < n; ++j) {
-            const float *brow = b.row(j);
-            float acc = 0.0f;
-            for (size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] = acc;
+    auto rowBlock = [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            const float *arow = a.row(i);
+            float *crow = c.row(i);
+            for (size_t j = 0; j < n; ++j) {
+                const float *brow = b.row(j);
+                float acc = 0.0f;
+                for (size_t p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
         }
-    }
+    };
+    if (gemmMacs(m, k, n) < kParallelMacThreshold)
+        rowBlock(0, m);
+    else
+        parallelFor(0, m, gemmGrain(m), rowBlock);
     return c;
 }
 
@@ -59,18 +99,27 @@ matmulAT(const Matrix &a, const Matrix &b)
                 b.shapeStr());
     const size_t m = a.cols(), k = a.rows(), n = b.cols();
     Matrix c(m, n);
-    for (size_t p = 0; p < k; ++p) {
-        const float *arow = a.row(p);
-        const float *brow = b.row(p);
-        for (size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
+    // Output-row partitioning (i outer). Per element the reduction still
+    // runs over p in ascending order, so values match the historical
+    // p-outer formulation bit-for-bit while rows stay independently
+    // writable.
+    auto rowBlock = [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
             float *crow = c.row(i);
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+            for (size_t p = 0; p < k; ++p) {
+                const float av = a(p, i);
+                if (av == 0.0f)
+                    continue;
+                const float *brow = b.row(p);
+                for (size_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    };
+    if (gemmMacs(m, k, n) < kParallelMacThreshold)
+        rowBlock(0, m);
+    else
+        parallelFor(0, m, gemmGrain(m), rowBlock);
     return c;
 }
 

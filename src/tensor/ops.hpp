@@ -2,10 +2,15 @@
  * @file
  * Dense linear-algebra and NN kernels over Matrix.
  *
- * These are the reference (bit-exact, single-threaded) implementations that
- * both the trainable transformer stack and the accelerator simulator's
- * functional model call into. Each kernel corresponds to an operation the
- * DOTA hardware executes, so cycle/energy models reference these names.
+ * These are the reference (bit-exact) implementations that both the
+ * trainable transformer stack and the accelerator simulator's functional
+ * model call into. Each kernel corresponds to an operation the DOTA
+ * hardware executes, so cycle/energy models reference these names.
+ *
+ * The three GEMM kernels are row-block parallel above a size threshold
+ * (common/thread_pool.hpp, DOTA_THREADS): each output row is produced by
+ * exactly one thread with an unchanged inner reduction order, so results
+ * are bit-identical to serial execution for every thread count.
  */
 #pragma once
 

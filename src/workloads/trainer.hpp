@@ -7,6 +7,16 @@
  * hook installed so the model adapts to sparse attention while the
  * detector's parameters (passed in as extra parameters) are jointly
  * optimized (Section 3.2).
+ *
+ * Batch execution is parallel (common/thread_pool.hpp, DOTA_THREADS):
+ * samples are drawn serially from the data stream, forward/backward runs
+ * on weight-synchronized model replicas (one per pool slot), and the
+ * per-sample gradients are reduced into the optimizer in **fixed batch
+ * order**. Training is therefore bit-identical run-to-run for a given
+ * seed at every thread count. Models with an installed attention hook or
+ * jointly-trained extra parameters are not replicable and keep today's
+ * serial batch loop (with the same fixed-order reduction, so their
+ * numerics are thread-count independent too).
  */
 #pragma once
 
@@ -57,6 +67,9 @@ class ClassifierTrainer
     /** Run the configured number of steps; returns final mean loss. */
     double train();
 
+    /** Mean loss of every step of the most recent train() call. */
+    const std::vector<double> &lossHistory() const { return loss_history_; }
+
     /** Deterministic held-out evaluation (same seed -> same set). */
     EvalResult evaluate(size_t samples, uint64_t seed = 4242) const;
 
@@ -65,7 +78,9 @@ class ClassifierTrainer
     const SyntheticTask &task_;
     TrainConfig cfg_;
     std::vector<Parameter *> params_;
+    size_t model_param_count_ = 0; ///< params_ prefix owned by the model
     std::function<void(size_t)> step_cb_;
+    std::vector<double> loss_history_;
 };
 
 /** Trainer for CausalLM on a SyntheticGrammar. */
@@ -79,6 +94,9 @@ class LMTrainer
 
     double train();
 
+    /** Mean loss of every step of the most recent train() call. */
+    const std::vector<double> &lossHistory() const { return loss_history_; }
+
     /** Perplexity on a deterministic held-out stream. */
     EvalResult evaluate(size_t samples, uint64_t seed = 4242) const;
 
@@ -87,6 +105,8 @@ class LMTrainer
     const SyntheticGrammar &grammar_;
     TrainConfig cfg_;
     std::vector<Parameter *> params_;
+    size_t model_param_count_ = 0; ///< params_ prefix owned by the model
+    std::vector<double> loss_history_;
 };
 
 } // namespace dota

@@ -107,5 +107,36 @@ TEST(Fleet, ReportInternallyConsistent)
     EXPECT_NEAR(r.latency.mean(), r.mean_latency_ms, 1e-9);
 }
 
+TEST(Fleet, ConservationInvariantsAcrossScenarios)
+{
+    // Work conservation must hold for every fleet size, mode and batch:
+    // per-accelerator busy time sums to the total dispatched work, the
+    // makespan is the max busy time, and utilization never exceeds 1.
+    Rng rng(17);
+    for (size_t accels : {1u, 2u, 3u, 5u}) {
+        for (DotaMode mode : {DotaMode::Full, DotaMode::Conservative}) {
+            std::vector<size_t> lens;
+            const int jobs = 1 + static_cast<int>(rng.uniformInt(14));
+            for (int i = 0; i < jobs; ++i)
+                lens.push_back(128 + 128 * rng.uniformInt(16));
+            const FleetReport r = makeFleet(accels, mode).run(lens);
+            ASSERT_EQ(r.accel_busy_ms.size(), accels);
+            double busy_sum = 0.0;
+            double busy_max = 0.0;
+            for (double b : r.accel_busy_ms) {
+                EXPECT_GE(b, 0.0);
+                busy_sum += b;
+                busy_max = std::max(busy_max, b);
+            }
+            EXPECT_NEAR(busy_sum, r.total_work_ms,
+                        1e-9 * (1.0 + r.total_work_ms))
+                << accels << " accels, " << jobs << " jobs";
+            EXPECT_DOUBLE_EQ(r.makespan_ms, busy_max);
+            EXPECT_GT(r.utilization, 0.0);
+            EXPECT_LE(r.utilization, 1.0 + 1e-12);
+        }
+    }
+}
+
 } // namespace
 } // namespace dota

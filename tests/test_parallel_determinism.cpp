@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Property tests for the parallel-execution determinism contract: GEMMs,
+ * trainer gradient steps and fleet dispatch must be bit-identical at
+ * DOTA_THREADS=1 and DOTA_THREADS=8 (DESIGN.md, "Parallel execution").
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/fleet.hpp"
+#include "tensor/ops.hpp"
+#include "workloads/trainer.hpp"
+
+namespace dota {
+namespace {
+
+/** Pin the global pool to @p n threads for one scope. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(size_t n)
+        : prev_(ThreadPool::globalConcurrency())
+    {
+        ThreadPool::setGlobalConcurrency(n);
+    }
+    ~ScopedThreads() { ThreadPool::setGlobalConcurrency(prev_); }
+
+  private:
+    size_t prev_;
+};
+
+/** Bitwise equality of two matrices (exact, not allClose). */
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) ==
+                0);
+}
+
+/** Run @p fn at 1 thread and at 8 threads; return both results. */
+template <typename Fn>
+auto
+atBothThreadCounts(Fn fn)
+{
+    ScopedThreads serial(1);
+    auto a = fn();
+    ScopedThreads parallel(8);
+    auto b = fn();
+    return std::make_pair(std::move(a), std::move(b));
+}
+
+TEST(ParallelDeterminism, MatmulBitIdenticalAcrossRandomShapes)
+{
+    Rng shape_rng(2024);
+    for (int trial = 0; trial < 12; ++trial) {
+        // Mix shapes below and well above the parallel threshold.
+        const size_t m = 1 + shape_rng.uniformInt(160);
+        const size_t k = 1 + shape_rng.uniformInt(160);
+        const size_t n = 1 + shape_rng.uniformInt(160);
+        Rng data_rng(100 + static_cast<uint64_t>(trial));
+        const Matrix a = Matrix::randomNormal(m, k, data_rng);
+        const Matrix b = Matrix::randomNormal(k, n, data_rng);
+        auto [serial, parallel] =
+            atBothThreadCounts([&] { return matmul(a, b); });
+        EXPECT_TRUE(bitIdentical(serial, parallel))
+            << "matmul " << m << "x" << k << "x" << n;
+    }
+    // One shape guaranteed deep inside the parallel regime.
+    Rng data_rng(7);
+    const Matrix a = Matrix::randomNormal(192, 96, data_rng);
+    const Matrix b = Matrix::randomNormal(96, 192, data_rng);
+    auto [serial, parallel] =
+        atBothThreadCounts([&] { return matmul(a, b); });
+    EXPECT_TRUE(bitIdentical(serial, parallel));
+}
+
+TEST(ParallelDeterminism, MatmulBTBitIdentical)
+{
+    Rng shape_rng(2025);
+    for (int trial = 0; trial < 12; ++trial) {
+        const size_t m = 1 + shape_rng.uniformInt(200);
+        const size_t k = 1 + shape_rng.uniformInt(120);
+        const size_t n = 1 + shape_rng.uniformInt(200);
+        Rng data_rng(300 + static_cast<uint64_t>(trial));
+        const Matrix a = Matrix::randomNormal(m, k, data_rng);
+        const Matrix b = Matrix::randomNormal(n, k, data_rng);
+        auto [serial, parallel] =
+            atBothThreadCounts([&] { return matmulBT(a, b); });
+        EXPECT_TRUE(bitIdentical(serial, parallel))
+            << "matmulBT " << m << "x" << k << "x" << n;
+    }
+}
+
+TEST(ParallelDeterminism, MatmulATBitIdentical)
+{
+    Rng shape_rng(2026);
+    for (int trial = 0; trial < 12; ++trial) {
+        const size_t m = 1 + shape_rng.uniformInt(200);
+        const size_t k = 1 + shape_rng.uniformInt(120);
+        const size_t n = 1 + shape_rng.uniformInt(200);
+        Rng data_rng(500 + static_cast<uint64_t>(trial));
+        const Matrix a = Matrix::randomNormal(k, m, data_rng);
+        const Matrix b = Matrix::randomNormal(k, n, data_rng);
+        auto [serial, parallel] =
+            atBothThreadCounts([&] { return matmulAT(a, b); });
+        EXPECT_TRUE(bitIdentical(serial, parallel))
+            << "matmulAT " << m << "x" << k << "x" << n;
+    }
+}
+
+/** Train a fresh classifier and return (per-step losses, final params). */
+std::pair<std::vector<double>, std::vector<Matrix>>
+trainClassifier(uint64_t seed)
+{
+    TaskConfig tc;
+    tc.seq_len = 32;
+    tc.in_dim = 8;
+    tc.classes = 3;
+    tc.seed = seed;
+    SyntheticTask task(tc);
+    TransformerConfig mc;
+    mc.in_dim = 8;
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 2;
+    mc.ffn_dim = 32;
+    mc.classes = 3;
+    mc.seed = seed + 1;
+    TransformerClassifier model(mc);
+    TrainConfig cfg;
+    cfg.steps = 4;
+    cfg.batch = 6;
+    cfg.data_seed = seed + 2;
+    ClassifierTrainer trainer(model, task, cfg);
+    trainer.train();
+    std::vector<Parameter *> params;
+    model.collectParams(params);
+    std::vector<Matrix> values;
+    values.reserve(params.size());
+    for (Parameter *p : params)
+        values.push_back(p->value);
+    return {trainer.lossHistory(), std::move(values)};
+}
+
+TEST(ParallelDeterminism, ClassifierTrainerBitIdenticalAcrossSeeds)
+{
+    for (uint64_t seed : {11u, 42u, 99u}) {
+        auto [serial, parallel] =
+            atBothThreadCounts([&] { return trainClassifier(seed); });
+        ASSERT_EQ(serial.first.size(), parallel.first.size());
+        for (size_t s = 0; s < serial.first.size(); ++s)
+            EXPECT_EQ(serial.first[s], parallel.first[s])
+                << "seed " << seed << " step " << s;
+        ASSERT_EQ(serial.second.size(), parallel.second.size());
+        for (size_t i = 0; i < serial.second.size(); ++i)
+            EXPECT_TRUE(
+                bitIdentical(serial.second[i], parallel.second[i]))
+                << "seed " << seed << " param " << i;
+    }
+}
+
+/** Train a fresh causal LM and return (per-step losses, final params). */
+std::pair<std::vector<double>, std::vector<Matrix>>
+trainLM(uint64_t seed)
+{
+    GrammarConfig gc;
+    gc.seq_len = 24;
+    gc.vocab = 32;
+    gc.seed = seed;
+    SyntheticGrammar grammar(gc);
+    TransformerConfig mc;
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 1;
+    mc.ffn_dim = 32;
+    mc.vocab = 32;
+    mc.max_seq = 64;
+    mc.seed = seed + 1;
+    CausalLM model(mc);
+    TrainConfig cfg;
+    cfg.steps = 3;
+    cfg.batch = 5;
+    cfg.data_seed = seed + 2;
+    LMTrainer trainer(model, grammar, cfg);
+    trainer.train();
+    std::vector<Parameter *> params;
+    model.collectParams(params);
+    std::vector<Matrix> values;
+    values.reserve(params.size());
+    for (Parameter *p : params)
+        values.push_back(p->value);
+    return {trainer.lossHistory(), std::move(values)};
+}
+
+TEST(ParallelDeterminism, LMTrainerBitIdentical)
+{
+    auto [serial, parallel] =
+        atBothThreadCounts([] { return trainLM(77); });
+    ASSERT_EQ(serial.first.size(), parallel.first.size());
+    for (size_t s = 0; s < serial.first.size(); ++s)
+        EXPECT_EQ(serial.first[s], parallel.first[s]) << "step " << s;
+    ASSERT_EQ(serial.second.size(), parallel.second.size());
+    for (size_t i = 0; i < serial.second.size(); ++i)
+        EXPECT_TRUE(bitIdentical(serial.second[i], parallel.second[i]))
+            << "param " << i;
+}
+
+TEST(ParallelDeterminism, FleetDispatchBitIdentical)
+{
+    Rng len_rng(31337);
+    for (int trial = 0; trial < 3; ++trial) {
+        std::vector<size_t> lens;
+        for (int i = 0; i < 10; ++i)
+            lens.push_back(128 + 64 * len_rng.uniformInt(12));
+        auto runFleet = [&] {
+            FleetConfig fc;
+            fc.accelerators = 3;
+            SimOptions opt;
+            opt.mode = DotaMode::Conservative;
+            FleetSimulator fleet(fc, benchmark(BenchmarkId::Text), opt);
+            return fleet.run(lens);
+        };
+        auto [serial, parallel] = atBothThreadCounts(runFleet);
+        EXPECT_EQ(serial.makespan_ms, parallel.makespan_ms);
+        EXPECT_EQ(serial.total_work_ms, parallel.total_work_ms);
+        EXPECT_EQ(serial.mean_latency_ms, parallel.mean_latency_ms);
+        EXPECT_EQ(serial.max_latency_ms, parallel.max_latency_ms);
+        EXPECT_EQ(serial.utilization, parallel.utilization);
+        EXPECT_EQ(serial.throughput_seq_s, parallel.throughput_seq_s);
+        ASSERT_EQ(serial.accel_busy_ms.size(),
+                  parallel.accel_busy_ms.size());
+        for (size_t a = 0; a < serial.accel_busy_ms.size(); ++a)
+            EXPECT_EQ(serial.accel_busy_ms[a], parallel.accel_busy_ms[a]);
+        EXPECT_EQ(serial.latency.count(), parallel.latency.count());
+        EXPECT_EQ(serial.latency.mean(), parallel.latency.mean());
+        EXPECT_EQ(serial.latency.max(), parallel.latency.max());
+    }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreStable)
+{
+    // Run-to-run stability at a fixed thread count (not just 1-vs-8).
+    ScopedThreads parallel(8);
+    const auto a = trainClassifier(5);
+    const auto b = trainClassifier(5);
+    ASSERT_EQ(a.first.size(), b.first.size());
+    for (size_t s = 0; s < a.first.size(); ++s)
+        EXPECT_EQ(a.first[s], b.first[s]);
+    for (size_t i = 0; i < a.second.size(); ++i)
+        EXPECT_TRUE(bitIdentical(a.second[i], b.second[i]));
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the bounded thread pool and parallelFor (common/thread_pool).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace dota {
+namespace {
+
+/** Spin (with sleeps) until @p done returns true or ~30s elapse. */
+template <typename Pred>
+bool
+waitFor(Pred done)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!done()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+TEST(ThreadPool, ConstructionTeardownUnderContention)
+{
+    // Pools of several sizes created and destroyed while tasks are in
+    // flight; destruction must join cleanly without losing tasks.
+    for (size_t conc : {1u, 2u, 4u, 8u}) {
+        for (int round = 0; round < 3; ++round) {
+            std::atomic<int> ran{0};
+            {
+                ThreadPool pool(conc);
+                for (int i = 0; i < 64; ++i)
+                    pool.submit([&ran] {
+                        ran.fetch_add(1, std::memory_order_relaxed);
+                    });
+            } // ~ThreadPool drains the queue
+            EXPECT_EQ(ran.load(), 64) << "conc=" << conc;
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (size_t n : {1u, 7u, 64u, 1000u}) {
+        for (size_t grain : {1u, 3u, 17u, 1024u}) {
+            std::vector<std::atomic<int>> hits(n);
+            for (auto &h : hits)
+                h.store(0);
+            parallelFor(pool, 0, n, grain, [&](size_t lo, size_t hi) {
+                ASSERT_LE(lo, hi);
+                ASSERT_LE(hi, n);
+                for (size_t i = lo; i < hi; ++i)
+                    hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "n=" << n << " grain=" << grain << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesOutOfParallelFor)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        parallelFor(pool, 0, 256, 1,
+                    [](size_t lo, size_t) {
+                        if (lo == 97)
+                            throw std::runtime_error("chunk 97 failed");
+                    }),
+        std::runtime_error);
+
+    // The pool must remain fully usable after a failed loop.
+    std::atomic<size_t> sum{0};
+    parallelFor(pool, 0, 100, 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ExceptionStopsRemainingChunks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    try {
+        parallelFor(pool, 0, 10000, 1, [&](size_t, size_t) {
+            executed.fetch_add(1, std::memory_order_relaxed);
+            throw std::runtime_error("boom");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    // Chunks claimed after the failure flag was raised are skipped.
+    EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> total{0};
+    parallelFor(pool, 0, 32, 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            // Inner loop from whatever thread executes the outer chunk;
+            // inside a worker this must degrade to inline execution.
+            parallelFor(pool, 0, 10, 1, [&](size_t jlo, size_t jhi) {
+                total.fetch_add(jhi - jlo, std::memory_order_relaxed);
+            });
+        }
+    });
+    EXPECT_EQ(total.load(), 320u);
+}
+
+TEST(ThreadPool, NestedSubmitWithFullQueueRunsInline)
+{
+    // Tiny queue so workers submitting tasks hit the capacity bound
+    // immediately; the deadlock guard executes those tasks inline.
+    ThreadPool pool(3, /*queue_capacity=*/2);
+    std::atomic<int> ran{0};
+    parallelFor(pool, 0, 8, 1, [&](size_t, size_t) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit(
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+    EXPECT_TRUE(waitFor([&] { return ran.load() == 8 * 50; }))
+        << "only " << ran.load() << " of " << 8 * 50 << " tasks ran";
+}
+
+TEST(ThreadPool, StressTenThousandTinyTasks)
+{
+    ThreadPool pool(4, /*queue_capacity=*/128);
+    std::atomic<uint64_t> sum{0};
+    for (uint64_t i = 0; i < 10000; ++i)
+        pool.submit(
+            [&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    EXPECT_TRUE(waitFor([&] { return sum.load() == 49995000ull; }))
+        << "sum=" << sum.load();
+}
+
+TEST(ThreadPool, StressParallelForManyTinyChunks)
+{
+    ThreadPool pool(8);
+    std::vector<uint8_t> touched(10000, 0);
+    parallelFor(pool, 0, touched.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            touched[i] = 1; // disjoint writes: the determinism contract
+    });
+    EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 10000);
+}
+
+TEST(ThreadPool, SerialPoolRunsEverythingInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    int ran = 0;
+    pool.submit([&ran] { ran = 1; }); // inline: no workers exist
+    EXPECT_EQ(ran, 1);
+    size_t calls = 0;
+    parallelFor(pool, 0, 100, 10, [&](size_t lo, size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 100u);
+    });
+    EXPECT_EQ(calls, 1u); // one inline call over the whole range
+}
+
+TEST(ThreadPool, ResizeRetargetsConcurrency)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.concurrency(), 2u);
+    pool.resize(6);
+    EXPECT_EQ(pool.concurrency(), 6u);
+    std::atomic<size_t> sum{0};
+    parallelFor(pool, 0, 1000, 1, [&](size_t lo, size_t hi) {
+        sum.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1000u);
+    pool.resize(1);
+    EXPECT_EQ(pool.concurrency(), 1u);
+}
+
+TEST(ThreadPool, WorkerSlotsAreDistinctAndBounded)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(ThreadPool::slot(), 0); // non-pool thread
+    std::vector<std::atomic<int>> seen(4);
+    for (auto &s : seen)
+        s.store(0);
+    parallelFor(pool, 0, 256, 1, [&](size_t, size_t) {
+        const int slot = ThreadPool::slot();
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, 4);
+        seen[static_cast<size_t>(slot)].store(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+    EXPECT_EQ(seen[0].load(), 1); // the caller always participates
+}
+
+TEST(ThreadPool, ConfiguredThreadsIsPositive)
+{
+    EXPECT_GE(configuredThreads(), 1u);
+    EXPECT_GE(ThreadPool::globalConcurrency(), 1u);
+}
+
+} // namespace
+} // namespace dota
