@@ -80,6 +80,25 @@ main()
               << fmtSpeedup(avg_ratio_elsa / 5.0)
               << "  (paper headline: 4.5x)\n\n";
 
+    // ---- absolute attention-block time, every registered device.
+    // All devices emit the same RunReport, so one table covers the fleet.
+    Table abs("attention-block time per device (ms)");
+    {
+        std::vector<std::string> hdr{"benchmark"};
+        for (const std::string &key : DeviceRegistry::keys())
+            hdr.push_back(key);
+        abs.header(hdr);
+        for (const Benchmark &b : allBenchmarks()) {
+            std::vector<std::string> row{b.name};
+            for (const std::string &key : DeviceRegistry::keys())
+                row.push_back(
+                    fmtNum(sys.run(b.id, key).attentionTimeMs(), 3));
+            abs.addRow(row);
+        }
+    }
+    abs.print(std::cout);
+    std::cout << "\n";
+
     // ---- (b) end-to-end speedup + upper bound.
     Table bt("Figure 12(b): end-to-end speedup over V100");
     bt.header({"benchmark", "DOTA-C", "paper", "DOTA-A", "upper bound",

@@ -1,19 +1,25 @@
 /**
  * @file
- * Command-line driver for the simulator: run any benchmark on any device
- * with configurable fabric/dataflow options, no recompilation needed.
+ * Command-line driver for the simulator: run any benchmark on any
+ * registered device with configurable fabric/dataflow options, no
+ * recompilation needed.
  *
  * Usage:
  *   dota_cli [--benchmark QA|Image|Text|Retrieval|LM]
  *            [--mode full|conservative|aggressive]
- *            [--device dota|gpu|elsa] [--lanes N] [--parallelism T]
+ *            [--device <key>|list] [--lanes N] [--parallelism T]
  *            [--dataflow ooo|inorder|rowbyrow] [--sigma S] [--bits B]
  *            [--overlap] [--generation] [--csv]
+ *
+ * Device keys come from DeviceRegistry (`--device list` prints them);
+ * the legacy aliases "dota" (mode picked by --mode) and "gpu" are still
+ * accepted.
  *
  * Examples:
  *   dota_cli --benchmark Retrieval --mode aggressive
  *   dota_cli --benchmark LM --generation --mode conservative
- *   dota_cli --device gpu --benchmark Text
+ *   dota_cli --device gpu-v100 --benchmark Text
+ *   dota_cli --device list
  */
 #include <iostream>
 
@@ -43,11 +49,13 @@ usage()
     std::cerr <<
         "usage: dota_cli [--benchmark QA|Image|Text|Retrieval|LM]\n"
         "                [--mode full|conservative|aggressive]\n"
-        "                [--device dota|gpu|elsa] [--lanes N]\n"
+        "                [--device <key>|list] [--lanes N]\n"
         "                [--parallelism T] [--dataflow ooo|inorder|"
         "rowbyrow]\n"
         "                [--sigma S] [--bits 2|4|8] [--overlap]\n"
-        "                [--generation] [--trace] [--csv]\n";
+        "                [--generation] [--trace] [--csv]\n"
+        "device keys: " << join(DeviceRegistry::keys(), ", ")
+              << " (plus aliases dota, gpu)\n";
     std::exit(2);
 }
 
@@ -55,13 +63,28 @@ CliOptions
 parse(int argc, char **argv)
 {
     CliOptions opt;
+    // Value flags accept both "--flag value" and "--flag=value".
+    std::string inline_val;
+    bool has_inline = false;
+    int i = 0;
     auto need = [&](int &i) -> std::string {
+        if (has_inline)
+            return inline_val;
         if (i + 1 >= argc)
             usage();
         return argv[++i];
     };
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_val = arg.substr(eq + 1);
+                arg.erase(eq);
+                has_inline = true;
+            }
+        }
         if (arg == "--benchmark") {
             opt.benchmark = need(i);
         } else if (arg == "--device") {
@@ -113,6 +136,31 @@ parse(int argc, char **argv)
 }
 
 void
+listDevices()
+{
+    Table t("registered devices");
+    t.header({"key", "description"});
+    for (const std::string &key : DeviceRegistry::keys())
+        t.addRow({key, DeviceRegistry::describe(key)});
+    t.print(std::cout);
+}
+
+/** Map legacy aliases onto registry keys. */
+std::string
+deviceKey(const CliOptions &opt)
+{
+    if (opt.device == "dota")
+        return dotaModeKey(opt.mode);
+    if (opt.device == "gpu")
+        return "gpu-v100";
+    if (!DeviceRegistry::contains(opt.device)) {
+        std::cerr << "unknown device '" << opt.device << "'\n";
+        usage();
+    }
+    return opt.device;
+}
+
+void
 printReport(const RunReport &r, bool csv)
 {
     Table t(format("{} on {}", r.benchmark, r.device));
@@ -142,49 +190,39 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opt = parse(argc, argv);
-    const Benchmark &bench = benchmarkByName(opt.benchmark);
-
-    if (opt.device == "gpu") {
-        const GpuReport g = opt.generation
-                                ? simulateGpuGeneration(bench)
-                                : simulateGpu(bench);
-        std::cout << bench.name << " on V100: linear "
-                  << fmtNum(g.linear_ms, 2) << "ms, attention "
-                  << fmtNum(g.attention_ms, 2) << "ms, total "
-                  << fmtNum(g.totalMs(), 2) << "ms, energy "
-                  << fmtNum(g.energy_j, 2) << "J\n";
+    if (opt.device == "list") {
+        listDevices();
         return 0;
     }
+    const Benchmark &bench = benchmarkByName(opt.benchmark);
+    const std::string key = deviceKey(opt);
 
     HwConfig hw = HwConfig::dota();
     hw.lanes = opt.lanes;
     hw.dram_gb_per_s = 16.0 * static_cast<double>(opt.lanes);
 
-    if (opt.device == "elsa") {
-        ElsaAccelerator elsa(hw);
-        printReport(elsa.simulate(bench), opt.csv);
-        return 0;
-    }
-    if (opt.device != "dota")
-        usage();
+    DeviceOptions dev_opt;
+    dev_opt.hw = hw;
+    dev_opt.sim = opt.sim;
+    const std::unique_ptr<Device> device =
+        DeviceRegistry::create(key, dev_opt);
 
-    DotaAccelerator acc(hw);
-    SimOptions sim = opt.sim;
-    sim.mode = opt.mode;
     const RunReport r = opt.generation
-                            ? acc.simulateGeneration(bench, sim)
-                            : acc.simulate(bench, sim);
+                            ? device->simulateGeneration(bench)
+                            : device->simulate(bench);
     printReport(r, opt.csv);
 
-    if (opt.trace) {
+    if (opt.trace && key.rfind("dota-", 0) == 0) {
+        const DotaMode mode =
+            dynamic_cast<const DotaDevice &>(*device).mode();
         std::cout << "\nexecution trace of the first attention group:\n";
-        Rng rng(sim.mask_seed);
-        const double retention = modeRetention(bench, opt.mode);
+        Rng rng(opt.sim.mask_seed);
+        const double retention = modeRetention(bench, mode);
         const SparseMask mask = synthesizeMask(
             bench.paper_shape.seq_len,
             profileFor(bench.id, retention < 1.0 ? retention : 0.1), rng,
             bench.paper_shape.decoder);
-        LocalityAwareScheduler las(sim.token_parallelism);
+        LocalityAwareScheduler las(opt.sim.token_parallelism);
         const GroupTrace trace = traceAttentionGroup(
             las.scheduleGroup(mask, 0), hw.lane,
             bench.paper_shape.headDim());

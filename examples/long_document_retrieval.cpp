@@ -68,15 +68,15 @@ main()
     // 3. Architecture: paper-scale Retrieval (n = 4096) on all devices.
     // ------------------------------------------------------------------
     System system;
-    const GpuReport gpu = system.runGpu(BenchmarkId::Retrieval);
-    const RunReport elsa = system.runElsa(BenchmarkId::Retrieval);
-    const RunReport dota = system.run(BenchmarkId::Retrieval,
-                                      DotaMode::Conservative);
+    const RunReport gpu = system.run(BenchmarkId::Retrieval, "gpu-v100");
+    const RunReport elsa = system.run(BenchmarkId::Retrieval, "elsa");
+    const RunReport dota = system.run(BenchmarkId::Retrieval, "dota-c");
 
     Table t("Retrieval (n = 4096), attention block");
     t.header({"device", "attention time", "DRAM traffic/layer",
               "notes"});
-    t.addRow({"V100 (dense)", fmtNum(gpu.attention_ms, 2) + "ms", "-",
+    t.addRow({"V100 (dense)", fmtNum(gpu.attentionTimeMs(), 2) + "ms",
+              fmtBytes(double(gpu.per_layer.attention.dram_bytes)),
               "quadratic dense attention"});
     t.addRow({"ELSA (20%)", fmtNum(elsa.attentionTimeMs(), 3) + "ms",
               fmtBytes(double(elsa.per_layer.attention.dram_bytes)),

@@ -51,6 +51,7 @@ class ElsaAccelerator
     RunReport simulate(const Benchmark &bench) const;
 
     const ElsaConfig &config() const { return cfg_; }
+    const HwConfig &hw() const { return hw_; }
 
   private:
     HwConfig hw_;

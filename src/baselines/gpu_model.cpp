@@ -5,6 +5,7 @@
 #include "baselines/gpu_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 
@@ -24,9 +25,56 @@ kernelMs(double flops, double bytes, double eff_compute, double eff_bw,
            1e3;
 }
 
+/** Per-layer phase accumulator: time plus bookkeeping totals. */
+struct GpuPhase
+{
+    double ms = 0.0;
+    double flops = 0.0;
+    double hbm_bytes = 0.0;
+
+    void
+    add(double kernel_flops, double kernel_bytes, double kernel_ms)
+    {
+        ms += kernel_ms;
+        flops += kernel_flops;
+        hbm_bytes += kernel_bytes;
+    }
+};
+
+/** Quantize a per-layer phase onto the picosecond tick. */
+PhaseCost
+toPhaseCost(const char *name, const GpuPhase &p, const GpuConfig &cfg)
+{
+    PhaseCost cost;
+    cost.name = name;
+    cost.cycles = static_cast<uint64_t>(std::llround(p.ms * 1e9));
+    cost.macs = static_cast<uint64_t>(p.flops / 2.0);
+    cost.dram_bytes = static_cast<uint64_t>(p.hbm_bytes);
+    // Board power over the phase's wall time: W x ps = pJ.
+    cost.energy_pj =
+        cfg.board_power_w * static_cast<double>(cost.cycles);
+    return cost;
+}
+
+RunReport
+makeReport(const Benchmark &bench, const GpuConfig &cfg,
+           const GpuPhase &linear, const GpuPhase &attention)
+{
+    RunReport report;
+    report.device = "GPU-V100";
+    report.benchmark = bench.name;
+    report.freq_ghz = kGpuTickGhz;
+    report.layers = bench.paper_shape.layers;
+    report.per_layer.linear = toPhaseCost("linear", linear, cfg);
+    // Dense attention: the detection phase does not exist on the GPU.
+    report.per_layer.detection.name = "detection";
+    report.per_layer.attention = toPhaseCost("attention", attention, cfg);
+    return report;
+}
+
 } // namespace
 
-GpuReport
+RunReport
 simulateGpu(const Benchmark &bench, const GpuConfig &cfg)
 {
     const ModelShape &s = bench.paper_shape;
@@ -36,43 +84,39 @@ simulateGpu(const Benchmark &bench, const GpuConfig &cfg)
     const double h = static_cast<double>(s.heads);
     const double dh = static_cast<double>(s.headDim());
 
-    GpuReport report;
-    report.benchmark = bench.name;
-
-    double linear_ms = 0.0, attention_ms = 0.0;
+    GpuPhase linear, attention;
     // One dense forward pass per layer; causal benchmarks (perplexity
     // scoring) run the same kernels with an attention mask, which the
     // GPU computes densely anyway.
     // QKV, output projection, FC1, FC2 (2 flops per MAC).
-    linear_ms += kernelMs(2 * n * d * 3 * d, (n * d + 3 * d * d) * 2,
-                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
-    linear_ms += kernelMs(2 * n * d * d, (n * d + d * d) * 2,
-                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
-    linear_ms += kernelMs(2 * n * d * ffn, (n * d + d * ffn) * 2,
-                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
-    linear_ms += kernelMs(2 * n * ffn * d, (n * ffn + d * ffn) * 2,
-                          cfg.gemm_eff, cfg.softmax_bw_eff, cfg);
+    auto addKernel = [&](GpuPhase &phase, double flops, double bytes,
+                         double eff_compute, double eff_bw) {
+        phase.add(flops, bytes,
+                  kernelMs(flops, bytes, eff_compute, eff_bw, cfg));
+    };
+    addKernel(linear, 2 * n * d * 3 * d, (n * d + 3 * d * d) * 2,
+              cfg.gemm_eff, cfg.softmax_bw_eff);
+    addKernel(linear, 2 * n * d * d, (n * d + d * d) * 2, cfg.gemm_eff,
+              cfg.softmax_bw_eff);
+    addKernel(linear, 2 * n * d * ffn, (n * d + d * ffn) * 2,
+              cfg.gemm_eff, cfg.softmax_bw_eff);
+    addKernel(linear, 2 * n * ffn * d, (n * ffn + d * ffn) * 2,
+              cfg.gemm_eff, cfg.softmax_bw_eff);
 
     // Attention: S = QK^T and Z = A V (batched per head, low
     // efficiency), plus the memory-bound softmax pipeline (mask + max +
     // exp + sum + div elementwise passes over h * n^2).
-    attention_ms += kernelMs(2 * h * n * n * dh,
-                             h * (2 * n * dh + n * n) * 2,
-                             cfg.attention_eff, cfg.softmax_bw_eff, cfg);
-    attention_ms += kernelMs(2 * h * n * n * dh,
-                             h * (n * n + 2 * n * dh) * 2,
-                             cfg.attention_eff, cfg.softmax_bw_eff, cfg);
-    attention_ms += kernelMs(5 * h * n * n /* exp+sum+div */,
-                             5 * h * n * n * 4, cfg.gemm_eff,
-                             cfg.softmax_bw_eff, cfg);
+    addKernel(attention, 2 * h * n * n * dh, h * (2 * n * dh + n * n) * 2,
+              cfg.attention_eff, cfg.softmax_bw_eff);
+    addKernel(attention, 2 * h * n * n * dh, h * (n * n + 2 * n * dh) * 2,
+              cfg.attention_eff, cfg.softmax_bw_eff);
+    addKernel(attention, 5 * h * n * n /* exp+sum+div */,
+              5 * h * n * n * 4, cfg.gemm_eff, cfg.softmax_bw_eff);
 
-    report.linear_ms = linear_ms * static_cast<double>(s.layers);
-    report.attention_ms = attention_ms * static_cast<double>(s.layers);
-    report.energy_j = cfg.board_power_w * report.totalMs() * 1e-3;
-    return report;
+    return makeReport(bench, cfg, linear, attention);
 }
 
-GpuReport
+RunReport
 simulateGpuGeneration(const Benchmark &bench, const GpuConfig &cfg)
 {
     const ModelShape &s = bench.paper_shape;
@@ -83,28 +127,25 @@ simulateGpuGeneration(const Benchmark &bench, const GpuConfig &cfg)
     const double h = static_cast<double>(s.heads);
     const double dh = static_cast<double>(s.headDim());
 
-    GpuReport report;
-    report.benchmark = bench.name;
-
+    GpuPhase linear, attention;
     // Per-token GEMVs: weights re-stream from HBM every step.
+    const double weight_flops = 2 * (4 * d * d + 2 * d * ffn);
     const double weight_bytes = (4 * d * d + 2 * d * ffn) * 2;
-    const double linear_ms =
-        n * kernelMs(2 * (4 * d * d + 2 * d * ffn), weight_bytes,
-                     cfg.gemm_eff, cfg.gemv_bw_eff, cfg);
+    linear.add(n * weight_flops, n * weight_bytes,
+               n * kernelMs(weight_flops, weight_bytes, cfg.gemm_eff,
+                            cfg.gemv_bw_eff, cfg));
 
     // Attention over the KV cache: token t touches t vectors; three
     // kernels (scores, softmax, output) launch per step.
     const double visible = n * (n + 1) / 2.0;
-    double attention_ms =
-        n * 3.0 * cfg.kernel_launch_us * 1e-6 * 1e3;
-    attention_ms += kernelMs(2 * h * visible * dh * 2,
-                             h * 2 * visible * dh * 2, cfg.attention_eff,
-                             cfg.gemv_bw_eff, cfg);
+    attention.add(0.0, 0.0, n * 3.0 * cfg.kernel_launch_us * 1e-6 * 1e3);
+    const double att_flops = 2 * h * visible * dh * 2;
+    const double att_bytes = h * 2 * visible * dh * 2;
+    attention.add(att_flops, att_bytes,
+                  kernelMs(att_flops, att_bytes, cfg.attention_eff,
+                           cfg.gemv_bw_eff, cfg));
 
-    report.linear_ms = linear_ms * static_cast<double>(s.layers);
-    report.attention_ms = attention_ms * static_cast<double>(s.layers);
-    report.energy_j = cfg.board_power_w * report.totalMs() * 1e-3;
-    return report;
+    return makeReport(bench, cfg, linear, attention);
 }
 
 } // namespace dota

@@ -9,6 +9,13 @@
  * with tiny reduction dims per head) and the memory-bound softmax run far
  * below it, which is exactly where the paper's GPU gap comes from. The
  * GPU computes attention densely (no detection path exists for it).
+ *
+ * The model emits the same RunReport type as the cycle-level
+ * accelerator simulators: kernel times are quantized onto a virtual
+ * picosecond tick (freq_ghz = kGpuTickGhz), the dense attention kernels
+ * fill the `attention` phase, and the `detection` phase is identically
+ * zero — the report-level signature of a device with no detect-and-omit
+ * hardware.
  */
 #pragma once
 
@@ -34,19 +41,16 @@ struct GpuConfig
     static GpuConfig v100() { return GpuConfig{}; }
 };
 
-/** GPU timing/energy result, same layout as the accelerator reports. */
-struct GpuReport
-{
-    std::string benchmark;
-    double linear_ms = 0.0;    ///< projections + FFN (all layers)
-    double attention_ms = 0.0; ///< dense QK^T + softmax + AV (all layers)
-    double energy_j = 0.0;
-
-    double totalMs() const { return linear_ms + attention_ms; }
-};
+/**
+ * The virtual tick the analytic GPU model reports cycles in:
+ * 1000 GHz, i.e. one RunReport "cycle" = 1 ps. Fine enough that the
+ * quantization error of the underlying double-precision roofline times
+ * is below 1e-8 relative.
+ */
+inline constexpr double kGpuTickGhz = 1000.0;
 
 /** Simulate dense single-pass inference of @p bench on the GPU. */
-GpuReport simulateGpu(const Benchmark &bench,
+RunReport simulateGpu(const Benchmark &bench,
                       const GpuConfig &cfg = GpuConfig::v100());
 
 /**
@@ -56,7 +60,7 @@ GpuReport simulateGpu(const Benchmark &bench,
  * small step sizes — the counterpart of
  * DotaAccelerator::simulateGeneration.
  */
-GpuReport simulateGpuGeneration(const Benchmark &bench,
+RunReport simulateGpuGeneration(const Benchmark &bench,
                                 const GpuConfig &cfg = GpuConfig::v100());
 
 } // namespace dota

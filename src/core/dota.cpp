@@ -8,13 +8,6 @@ namespace dota {
 
 namespace {
 
-HwConfig
-fabricFor(const System::Options &opt)
-{
-    return opt.scale_for_gpu ? HwConfig::dotaScaledForGpu()
-                             : HwConfig::dota();
-}
-
 /** Attention-block energy (detection + attention + leakage share). */
 double
 attentionEnergyJ(const RunReport &r)
@@ -36,54 +29,97 @@ attentionEnergyJ(const RunReport &r)
 
 System::System() : System(Options{}) {}
 
-System::System(Options opt)
-    : opt_(opt), dota_(fabricFor(opt), opt.energy),
-      elsa_(fabricFor(opt), opt.energy, opt.elsa)
-{}
+System::System(Options opt) : opt_(opt) {}
+
+DeviceOptions
+System::deviceOptions() const
+{
+    DeviceOptions dev;
+    dev.hw = opt_.scale_for_gpu ? HwConfig::dotaScaledForGpu()
+                                : HwConfig::dota();
+    dev.energy = opt_.energy;
+    dev.sim = opt_.sim;
+    dev.gpu = opt_.gpu;
+    dev.elsa = opt_.elsa;
+    return dev;
+}
+
+const Device &
+System::device(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = devices_.find(key);
+    if (it == devices_.end())
+        it = devices_
+                 .emplace(key, DeviceRegistry::create(key,
+                                                      deviceOptions()))
+                 .first;
+    return *it->second;
+}
+
+const DotaAccelerator &
+System::accelerator() const
+{
+    return dynamic_cast<const DotaDevice &>(device("dota-c"))
+        .accelerator();
+}
+
+const ElsaAccelerator &
+System::elsa() const
+{
+    return dynamic_cast<const ElsaDevice &>(device("elsa"))
+        .accelerator();
+}
+
+RunReport
+System::run(BenchmarkId id, const std::string &device_key) const
+{
+    return device(device_key).simulate(benchmark(id));
+}
 
 RunReport
 System::run(BenchmarkId id, DotaMode mode) const
 {
-    SimOptions sim = opt_.sim;
-    sim.mode = mode;
-    return dota_.simulate(benchmark(id), sim);
+    return run(id, dotaModeKey(mode));
 }
 
-GpuReport
+RunReport
 System::runGpu(BenchmarkId id) const
 {
-    return simulateGpu(benchmark(id), opt_.gpu);
+    return run(id, "gpu-v100");
 }
 
 RunReport
 System::runElsa(BenchmarkId id) const
 {
-    return elsa_.simulate(benchmark(id));
+    return run(id, "elsa");
 }
 
 System::Comparison
 System::compare(BenchmarkId id) const
 {
     const Benchmark &bench = benchmark(id);
-    const GpuReport gpu = runGpu(id);
+    const RunReport gpu = runGpu(id);
     const RunReport elsa = runElsa(id);
-    const RunReport cons = run(id, DotaMode::Conservative);
-    const RunReport aggr = run(id, DotaMode::Aggressive);
+    const RunReport cons = run(id, "dota-c");
+    const RunReport aggr = run(id, "dota-a");
 
     Comparison cmp;
     cmp.benchmark = bench.name;
 
-    cmp.attention_speedup_elsa = gpu.attention_ms / elsa.attentionTimeMs();
-    cmp.attention_speedup_c = gpu.attention_ms / cons.attentionTimeMs();
-    cmp.attention_speedup_a = gpu.attention_ms / aggr.attentionTimeMs();
+    const double gpu_att_ms = gpu.attentionTimeMs();
+    cmp.attention_speedup_elsa = gpu_att_ms / elsa.attentionTimeMs();
+    cmp.attention_speedup_c = gpu_att_ms / cons.attentionTimeMs();
+    cmp.attention_speedup_a = gpu_att_ms / aggr.attentionTimeMs();
 
-    cmp.e2e_speedup_c = gpu.totalMs() / cons.timeMs();
-    cmp.e2e_speedup_a = gpu.totalMs() / aggr.timeMs();
+    cmp.e2e_speedup_c = gpu.timeMs() / cons.timeMs();
+    cmp.e2e_speedup_a = gpu.timeMs() / aggr.timeMs();
     // Amdahl upper bound: the accelerator at peak with free attention.
-    cmp.e2e_upper_bound = gpu.totalMs() / cons.linearTimeMs();
+    cmp.e2e_upper_bound = gpu.timeMs() / cons.linearTimeMs();
 
-    const double gpu_att_j =
-        opt_.gpu.board_power_w * gpu.attention_ms * 1e-3;
+    // The GPU report's attention energy is board power over the
+    // attention phases' wall time, so one helper covers every device.
+    const double gpu_att_j = attentionEnergyJ(gpu);
     cmp.energy_eff_elsa = gpu_att_j / attentionEnergyJ(elsa);
     cmp.energy_eff_c = gpu_att_j / attentionEnergyJ(cons);
     cmp.energy_eff_a = gpu_att_j / attentionEnergyJ(aggr);

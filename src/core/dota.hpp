@@ -3,10 +3,12 @@
  * Public API of the DOTA library.
  *
  * Umbrella header plus the System facade: configure a hardware fabric
- * once, then run any paper benchmark on DOTA (F/C/A), on the GPU
- * baseline, or on the reconstructed ELSA accelerator, and pull the
- * paper's comparison metrics (attention/end-to-end speedups,
- * energy-efficiency ratios, latency breakdowns).
+ * once, then run any paper benchmark on any registered device — the
+ * DOTA accelerator (F/C/A), the GPU baseline, the reconstructed ELSA
+ * accelerator, or any backend added through DeviceRegistry — and pull
+ * the paper's comparison metrics (attention/end-to-end speedups,
+ * energy-efficiency ratios, latency breakdowns). Every device emits the
+ * same RunReport type.
  *
  * Quick start (see examples/quickstart.cpp):
  *
@@ -14,11 +16,18 @@
  *   auto cmp = system.compare(dota::BenchmarkId::Text);
  *   std::cout << cmp.attention_speedup_c << "x attention speedup\n";
  *
+ *   auto gpu = system.run(dota::BenchmarkId::Text, "gpu-v100");
+ *   auto dota = system.run(dota::BenchmarkId::Text, "dota-c");
+ *   // gpu.timeMs() / dota.timeMs(), same report type everywhere
+ *
  * The algorithmic side (training a Detector jointly with a model) lives
  * in detect/detector.hpp + detect/pipeline.hpp and is exercised by the
  * accuracy benches and examples.
  */
 #pragma once
+
+#include <map>
+#include <mutex>
 
 #include "baselines/elsa_sim.hpp"
 #include "baselines/gpu_model.hpp"
@@ -31,11 +40,15 @@
 #include "detect/static_pattern.hpp"
 #include "detect/token_pruning.hpp"
 #include "detect/pipeline.hpp"
+#include "device/dota_device.hpp"
+#include "device/elsa_device.hpp"
+#include "device/fleet.hpp"
+#include "device/gpu_device.hpp"
+#include "device/registry.hpp"
 #include "nn/decode.hpp"
 #include "nn/serialize.hpp"
 #include "sched/dataflow.hpp"
 #include "sim/accelerator.hpp"
-#include "sim/fleet.hpp"
 #include "sim/pe_model.hpp"
 #include "sim/trace.hpp"
 #include "tensor/linalg.hpp"
@@ -46,7 +59,7 @@
 
 namespace dota {
 
-/** Facade over the three simulated devices. */
+/** Facade over the registered simulated devices. */
 class System
 {
   public:
@@ -67,13 +80,16 @@ class System
     System();
     explicit System(Options opt);
 
+    /** Run @p id on the device registered under @p device_key. */
+    RunReport run(BenchmarkId id, const std::string &device_key) const;
+
     /** Run @p id on the DOTA accelerator in @p mode. */
     RunReport run(BenchmarkId id, DotaMode mode) const;
 
-    /** Run the dense GPU baseline. */
-    GpuReport runGpu(BenchmarkId id) const;
+    /** Run the dense GPU baseline (key "gpu-v100"). */
+    RunReport runGpu(BenchmarkId id) const;
 
-    /** Run the reconstructed ELSA accelerator (attention block only). */
+    /** Run the reconstructed ELSA accelerator (key "elsa"). */
     RunReport runElsa(BenchmarkId id) const;
 
     /** The paper's headline comparison numbers for one benchmark. */
@@ -96,14 +112,21 @@ class System
 
     Comparison compare(BenchmarkId id) const;
 
-    const DotaAccelerator &accelerator() const { return dota_; }
-    const ElsaAccelerator &elsa() const { return elsa_; }
+    /** The device behind @p key, configured with this System's options
+     * (created on first use, then cached). */
+    const Device &device(const std::string &key) const;
+
+    /** DeviceOptions equivalent to this System's Options. */
+    DeviceOptions deviceOptions() const;
+
+    const DotaAccelerator &accelerator() const;
+    const ElsaAccelerator &elsa() const;
     const Options &options() const { return opt_; }
 
   private:
     Options opt_;
-    DotaAccelerator dota_;
-    ElsaAccelerator elsa_;
+    mutable std::mutex mu_;
+    mutable std::map<std::string, std::unique_ptr<Device>> devices_;
 };
 
 } // namespace dota

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Shared Device behavior.
+ */
+#include "device/device.hpp"
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+RunReport
+Device::simulateGeneration(const Benchmark &bench) const
+{
+    DOTA_FATAL("device {} has no autoregressive generation path (benchmark "
+          "{})",
+          name(), bench.name);
+}
+
+} // namespace dota

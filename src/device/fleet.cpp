@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Implementation of the scale-out fleet simulator.
+ */
+#include "device/fleet.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "device/dota_device.hpp"
+
+namespace dota {
+
+FleetSimulator::FleetSimulator(FleetConfig cfg, const Benchmark &bench,
+                               SimOptions opt)
+    : bench_(bench)
+{
+    std::vector<DeviceSpec> specs = std::move(cfg.devices);
+    if (specs.empty()) {
+        // Legacy homogeneous path: N identical DOTA accelerators built
+        // from the scalar FleetConfig fields and the SimOptions.
+        DeviceSpec spec;
+        spec.key = dotaModeKey(opt.mode);
+        spec.count = cfg.accelerators;
+        spec.opts.hw = cfg.accelerator;
+        spec.opts.energy = cfg.energy;
+        spec.opts.sim = opt;
+        specs.push_back(std::move(spec));
+    }
+    for (const DeviceSpec &spec : specs) {
+        DOTA_ASSERT(spec.count >= 1, "device spec needs count >= 1");
+        DOTA_ASSERT(spec.speed > 0.0, "device speed must be positive");
+        const std::unique_ptr<Device> proto =
+            DeviceRegistry::create(spec.key, spec.opts);
+        for (size_t i = 0; i < spec.count; ++i) {
+            devices_.push_back(proto->clone());
+            speed_.push_back(spec.speed);
+            group_of_.push_back(groups_);
+        }
+        ++groups_;
+    }
+    DOTA_ASSERT(!devices_.empty(), "fleet needs at least one "
+                                   "accelerator");
+}
+
+FleetSimulator::FleetSimulator(
+    std::vector<std::unique_ptr<Device>> devices, const Benchmark &bench)
+    : bench_(bench), devices_(std::move(devices))
+{
+    DOTA_ASSERT(!devices_.empty(), "fleet needs at least one "
+                                   "accelerator");
+    speed_.assign(devices_.size(), 1.0);
+    for (size_t a = 0; a < devices_.size(); ++a)
+        group_of_.push_back(a);
+    groups_ = devices_.size();
+}
+
+FleetSimulator::Cost
+FleetSimulator::groupCost(size_t group, size_t seq_len) const
+{
+    const std::pair<size_t, size_t> key{group, seq_len};
+    {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        auto it = cost_cache_.find(key);
+        if (it != cost_cache_.end())
+            return it->second;
+    }
+    Benchmark b = bench_;
+    b.paper_shape.seq_len = seq_len;
+    // Any accelerator of the group computes the same cost.
+    const auto rep = static_cast<size_t>(
+        std::find(group_of_.begin(), group_of_.end(), group) -
+        group_of_.begin());
+    const RunReport r = devices_[rep]->simulate(b);
+    const Cost cost{r.timeMs(), r.totalEnergyJ()};
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    cost_cache_[key] = cost;
+    return cost;
+}
+
+double
+FleetSimulator::sequenceLatencyMs(size_t seq_len, size_t accel) const
+{
+    return groupCost(group_of_[accel], seq_len).ms / speed_[accel];
+}
+
+double
+FleetSimulator::sequenceEnergyJ(size_t seq_len, size_t accel) const
+{
+    return groupCost(group_of_[accel], seq_len).energy_j;
+}
+
+void
+FleetSimulator::warmLatencyCache(
+    const std::vector<size_t> &seq_lens) const
+{
+    std::vector<std::pair<size_t, size_t>> missing;
+    {
+        const std::set<size_t> distinct(seq_lens.begin(),
+                                        seq_lens.end());
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        for (size_t g = 0; g < groups_; ++g)
+            for (size_t n : distinct)
+                if (!cost_cache_.count({g, n}))
+                    missing.push_back({g, n});
+    }
+    if (missing.empty())
+        return;
+    // Each distinct (device, length) pair is an independent simulation;
+    // results land in a fixed-index array, then merge under the lock in
+    // deterministic order.
+    std::vector<Cost> costs(missing.size());
+    std::vector<size_t> rep_of(groups_);
+    for (size_t a = devices_.size(); a-- > 0;)
+        rep_of[group_of_[a]] = a;
+    parallelFor(0, missing.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            Benchmark b = bench_;
+            b.paper_shape.seq_len = missing[i].second;
+            const RunReport r =
+                devices_[rep_of[missing[i].first]]->simulate(b);
+            costs[i] = Cost{r.timeMs(), r.totalEnergyJ()};
+        }
+    });
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    for (size_t i = 0; i < missing.size(); ++i)
+        cost_cache_[missing[i]] = costs[i];
+}
+
+FleetReport
+FleetSimulator::run(const std::vector<size_t> &seq_lens) const
+{
+    const size_t n_accel = devices_.size();
+    FleetReport report;
+    report.accel_busy_ms.assign(n_accel, 0.0);
+    report.accel_device.reserve(n_accel);
+    for (const auto &dev : devices_)
+        report.accel_device.push_back(dev->name());
+    if (seq_lens.empty())
+        return report;
+
+    warmLatencyCache(seq_lens);
+
+    // Per-job service time on every accelerator (speed-aware), plus the
+    // unscaled energy per cache group.
+    const size_t jobs = seq_lens.size();
+    std::vector<std::vector<double>> service(jobs);
+    std::vector<double> worst(jobs, 0.0);
+    for (size_t j = 0; j < jobs; ++j) {
+        service[j].reserve(n_accel);
+        for (size_t a = 0; a < n_accel; ++a) {
+            const double ms = sequenceLatencyMs(seq_lens[j], a);
+            service[j].push_back(ms);
+            worst[j] = std::max(worst[j], ms);
+        }
+    }
+
+    // LPT order generalized to heterogeneous fleets: largest worst-case
+    // service first (on a homogeneous fleet this is exactly classic
+    // LPT); ties broken by length then index for determinism.
+    std::vector<size_t> order(jobs);
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (worst[a] != worst[b])
+            return worst[a] > worst[b];
+        if (seq_lens[a] != seq_lens[b])
+            return seq_lens[a] > seq_lens[b];
+        return a < b;
+    });
+
+    // Phase 1 (serial): greedy earliest-completion-time assignment. The
+    // running busy totals drive every target choice, so this stays
+    // sequential. On identical devices this picks the least-busy
+    // accelerator, i.e. the classic earliest-available rule.
+    std::vector<std::vector<double>> assigned(n_accel);
+    std::vector<double> busy(n_accel, 0.0);
+    for (size_t idx : order) {
+        size_t target = 0;
+        double best = busy[0] + service[idx][0];
+        for (size_t a = 1; a < n_accel; ++a) {
+            const double done = busy[a] + service[idx][a];
+            if (done < best) {
+                best = done;
+                target = a;
+            }
+        }
+        busy[target] += service[idx][target];
+        assigned[target].push_back(service[idx][target]);
+        report.total_work_ms += service[idx][target];
+        report.total_energy_j +=
+            sequenceEnergyJ(seq_lens[idx], target);
+    }
+
+    // Phase 2 (parallel): per-accelerator completion timelines — once
+    // jobs are assigned each accelerator's prefix sums are independent.
+    std::vector<std::vector<double>> completion(n_accel);
+    parallelFor(0, n_accel, 1, [&](size_t lo, size_t hi) {
+        for (size_t a = lo; a < hi; ++a) {
+            completion[a].reserve(assigned[a].size());
+            double t = 0.0;
+            for (double svc : assigned[a]) {
+                t += svc;
+                completion[a].push_back(t);
+            }
+        }
+    });
+
+    // Phase 3 (serial, fixed accelerator order): merge the statistics.
+    double latency_sum = 0.0;
+    for (size_t a = 0; a < n_accel; ++a) {
+        report.accel_busy_ms[a] =
+            completion[a].empty() ? 0.0 : completion[a].back();
+        for (double done : completion[a]) {
+            latency_sum += done;
+            report.latency.sample(done);
+            report.max_latency_ms = std::max(report.max_latency_ms, done);
+        }
+    }
+    report.makespan_ms = *std::max_element(report.accel_busy_ms.begin(),
+                                           report.accel_busy_ms.end());
+    report.mean_latency_ms =
+        latency_sum / static_cast<double>(jobs);
+    report.utilization =
+        report.total_work_ms /
+        (report.makespan_ms * static_cast<double>(n_accel));
+    report.throughput_seq_s =
+        static_cast<double>(jobs) / (report.makespan_ms * 1e-3);
+    report.energy_per_seq_j =
+        report.total_energy_j / static_cast<double>(jobs);
+    return report;
+}
+
+} // namespace dota

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * String-keyed factory registry for simulated devices.
+ *
+ * Built-in keys:
+ *   dota-f    DOTA accelerator, full attention (no omission)
+ *   dota-c    DOTA accelerator, conservative retention
+ *   dota-a    DOTA accelerator, aggressive retention
+ *   elsa      ELSA accelerator (attention block only)
+ *   gpu-v100  dense V100 GPU roofline
+ *
+ * New backends register themselves with registerDevice() — typically
+ * from a static initializer in their own translation unit — and become
+ * available to the System facade, the fleet simulator and dota_cli
+ * without further plumbing.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace dota {
+
+/** Factory registry; all members are static (process-wide registry). */
+class DeviceRegistry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<Device>(const DeviceOptions &)>;
+
+    /** Instantiate the device registered under @p key; fatal() if
+     * unknown. */
+    static std::unique_ptr<Device>
+    create(const std::string &key,
+           const DeviceOptions &opt = DeviceOptions{});
+
+    /** Whether @p key is registered. */
+    static bool contains(const std::string &key);
+
+    /** All registered keys, sorted. */
+    static std::vector<std::string> keys();
+
+    /** One-line description of the device behind @p key. */
+    static std::string describe(const std::string &key);
+
+    /**
+     * Register a backend. Returns true (so it can initialize a static
+     * bool); duplicate keys are a fatal() configuration error.
+     */
+    static bool registerDevice(const std::string &key,
+                               const std::string &description,
+                               Factory factory);
+};
+
+} // namespace dota

@@ -17,8 +17,8 @@ TEST(Gpu, AttentionFractionGrowsWithSequence)
     for (size_t n : {384u, 1024u, 4096u}) {
         Benchmark b = benchmark(BenchmarkId::QA);
         b.paper_shape.seq_len = n;
-        const GpuReport r = simulateGpu(b);
-        const double frac = r.attention_ms / r.totalMs();
+        const RunReport r = simulateGpu(b);
+        const double frac = r.attentionTimeMs() / r.timeMs();
         EXPECT_GT(frac, prev);
         prev = frac;
     }
@@ -26,13 +26,24 @@ TEST(Gpu, AttentionFractionGrowsWithSequence)
 
 TEST(Gpu, TimesPositiveAndScale)
 {
-    const GpuReport qa = simulateGpu(benchmark(BenchmarkId::QA));
-    EXPECT_GT(qa.linear_ms, 0.0);
-    EXPECT_GT(qa.attention_ms, 0.0);
-    EXPECT_GT(qa.energy_j, 0.0);
-    const GpuReport ret = simulateGpu(benchmark(BenchmarkId::Retrieval));
+    const RunReport qa = simulateGpu(benchmark(BenchmarkId::QA));
+    EXPECT_GT(qa.linearTimeMs(), 0.0);
+    EXPECT_GT(qa.attentionTimeMs(), 0.0);
+    EXPECT_GT(qa.totalEnergyJ(), 0.0);
+    const RunReport ret = simulateGpu(benchmark(BenchmarkId::Retrieval));
     // 4K sequence attention dwarfs 384 despite the smaller model dim.
-    EXPECT_GT(ret.attention_ms, qa.attention_ms);
+    EXPECT_GT(ret.attentionTimeMs(), qa.attentionTimeMs());
+}
+
+TEST(Gpu, UnifiedReportHasNoDetectionPhase)
+{
+    // Dense attention: the detection phase is identically zero, and the
+    // report is labeled with the registry device name.
+    const RunReport r = simulateGpu(benchmark(BenchmarkId::Text));
+    EXPECT_EQ(r.device, "GPU-V100");
+    EXPECT_EQ(r.per_layer.detection.cycles, 0u);
+    EXPECT_EQ(r.per_layer.detection.energy_pj, 0.0);
+    EXPECT_DOUBLE_EQ(r.detectionTimeMs(), 0.0);
 }
 
 TEST(Elsa, AttentionOnly)

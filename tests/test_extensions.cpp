@@ -344,10 +344,10 @@ TEST(Overlap, HidesDetectionLatency)
 TEST(GpuGeneration, MemoryBoundAndSlowerThanScoring)
 {
     const Benchmark &lm = benchmark(BenchmarkId::LM);
-    const GpuReport scoring = simulateGpu(lm);
-    const GpuReport gen = simulateGpuGeneration(lm);
-    EXPECT_GT(gen.totalMs(), scoring.totalMs());
-    EXPECT_GT(gen.linear_ms, 0.0);
+    const RunReport scoring = simulateGpu(lm);
+    const RunReport gen = simulateGpuGeneration(lm);
+    EXPECT_GT(gen.timeMs(), scoring.timeMs());
+    EXPECT_GT(gen.linearTimeMs(), 0.0);
 }
 
 TEST(GpuGeneration, RequiresCausalBenchmark)

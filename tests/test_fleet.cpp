@@ -4,7 +4,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "sim/fleet.hpp"
+#include "device/fleet.hpp"
 
 namespace dota {
 namespace {
@@ -105,6 +105,123 @@ TEST(Fleet, ReportInternallyConsistent)
     EXPECT_EQ(r.latency.count(), lens.size());
     EXPECT_DOUBLE_EQ(r.latency.max(), r.max_latency_ms);
     EXPECT_NEAR(r.latency.mean(), r.mean_latency_ms, 1e-9);
+}
+
+TEST(Fleet, EnergyConservation)
+{
+    // The dispatched batch's energy is the sum of the per-job device
+    // energies, independent of how jobs were placed.
+    const std::vector<size_t> lens{512, 1024, 1536, 512, 2048};
+    FleetSimulator fleet = makeFleet(3);
+    const FleetReport r = fleet.run(lens);
+    double expect = 0.0;
+    for (size_t n : lens)
+        expect += fleet.sequenceEnergyJ(n);
+    EXPECT_NEAR(r.total_energy_j, expect, 1e-12 * expect);
+    EXPECT_DOUBLE_EQ(r.energy_per_seq_j,
+                     r.total_energy_j / double(lens.size()));
+    EXPECT_GT(r.total_energy_j, 0.0);
+}
+
+FleetConfig
+mixedConfig()
+{
+    FleetConfig fc;
+    fc.devices = {DeviceSpec{"dota-c", 2, 1.0, DeviceOptions{}},
+                  DeviceSpec{"elsa", 1, 1.0, DeviceOptions{}},
+                  DeviceSpec{"gpu-v100", 1, 1.0, DeviceOptions{}}};
+    return fc;
+}
+
+TEST(Fleet, HeterogeneousMixConservesWork)
+{
+    FleetSimulator fleet(mixedConfig(), benchmark(BenchmarkId::Text));
+    ASSERT_EQ(fleet.size(), 4u);
+    std::vector<size_t> lens;
+    Rng rng(7);
+    for (int i = 0; i < 14; ++i)
+        lens.push_back(256 + 128 * rng.uniformInt(10));
+    const FleetReport r = fleet.run(lens);
+
+    ASSERT_EQ(r.accel_busy_ms.size(), 4u);
+    ASSERT_EQ(r.accel_device.size(), 4u);
+    EXPECT_EQ(r.accel_device[0], "DOTA-C");
+    EXPECT_EQ(r.accel_device[1], "DOTA-C");
+    EXPECT_EQ(r.accel_device[2], "ELSA");
+    EXPECT_EQ(r.accel_device[3], "GPU-V100");
+
+    double busy_sum = 0.0, busy_max = 0.0;
+    for (double b : r.accel_busy_ms) {
+        EXPECT_GE(b, 0.0);
+        busy_sum += b;
+        busy_max = std::max(busy_max, b);
+    }
+    EXPECT_NEAR(busy_sum, r.total_work_ms,
+                1e-9 * (1.0 + r.total_work_ms));
+    EXPECT_DOUBLE_EQ(r.makespan_ms, busy_max);
+    EXPECT_EQ(r.latency.count(), lens.size());
+    EXPECT_GT(r.total_energy_j, 0.0);
+    // Per-job energy is bracketed by the cheapest/dearest device.
+    double lo = 0.0, hi = 0.0;
+    for (size_t n : lens) {
+        double mn = 1e300, mx = 0.0;
+        for (size_t a = 0; a < fleet.size(); ++a) {
+            const double e = fleet.sequenceEnergyJ(n, a);
+            mn = std::min(mn, e);
+            mx = std::max(mx, e);
+        }
+        lo += mn;
+        hi += mx;
+    }
+    EXPECT_GE(r.total_energy_j, lo * (1.0 - 1e-12));
+    EXPECT_LE(r.total_energy_j, hi * (1.0 + 1e-12));
+}
+
+TEST(Fleet, SpeedAwareDispatchFavorsFastBin)
+{
+    // Two identical DOTA-C devices, one clocked 2x: it should finish
+    // jobs in half the time and absorb about twice the work share.
+    FleetConfig fc;
+    fc.devices = {DeviceSpec{"dota-c", 1, 1.0, DeviceOptions{}},
+                  DeviceSpec{"dota-c", 1, 2.0, DeviceOptions{}}};
+    FleetSimulator fleet(fc, benchmark(BenchmarkId::Text));
+    EXPECT_DOUBLE_EQ(fleet.sequenceLatencyMs(1024, 1),
+                     fleet.sequenceLatencyMs(1024, 0) / 2.0);
+
+    const std::vector<size_t> lens(12, 1024);
+    const FleetReport r = fleet.run(lens);
+    // The 2x bin completes jobs at twice the rate, so it should absorb
+    // about twice as many of the identical jobs (8 vs 4, give or take a
+    // tie-break).
+    EXPECT_GT(r.accel_busy_ms[0], 0.0);
+    const double slow_jobs =
+        r.accel_busy_ms[0] / fleet.sequenceLatencyMs(1024, 0);
+    const double fast_jobs =
+        r.accel_busy_ms[1] / fleet.sequenceLatencyMs(1024, 1);
+    EXPECT_NEAR(slow_jobs + fast_jobs, 12.0, 1e-6);
+    EXPECT_GE(fast_jobs, slow_jobs + 2.0);
+    // Energy is per-job work, not wall time: identical on both bins.
+    EXPECT_DOUBLE_EQ(fleet.sequenceEnergyJ(1024, 0),
+                     fleet.sequenceEnergyJ(1024, 1));
+}
+
+TEST(Fleet, DirectDeviceInjection)
+{
+    // Fleets can be built from pre-configured Device instances.
+    std::vector<std::unique_ptr<Device>> devices;
+    devices.push_back(DeviceRegistry::create("dota-c"));
+    devices.push_back(DeviceRegistry::create("dota-a"));
+    FleetSimulator fleet(std::move(devices),
+                         benchmark(BenchmarkId::Text));
+    ASSERT_EQ(fleet.size(), 2u);
+    EXPECT_EQ(fleet.device(0).name(), "DOTA-C");
+    EXPECT_EQ(fleet.device(1).name(), "DOTA-A");
+    const FleetReport r = fleet.run({1024, 1024, 2048});
+    EXPECT_GT(r.makespan_ms, 0.0);
+    EXPECT_EQ(r.latency.count(), 3u);
+    // DOTA-A keeps less attention, so it serves a sequence faster.
+    EXPECT_LT(fleet.sequenceLatencyMs(2048, 1),
+              fleet.sequenceLatencyMs(2048, 0));
 }
 
 TEST(Fleet, ConservationInvariantsAcrossScenarios)

@@ -10,7 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "sim/fleet.hpp"
+#include "device/fleet.hpp"
 #include "tensor/ops.hpp"
 #include "workloads/trainer.hpp"
 
@@ -232,6 +232,8 @@ TEST(ParallelDeterminism, FleetDispatchBitIdentical)
         EXPECT_EQ(serial.max_latency_ms, parallel.max_latency_ms);
         EXPECT_EQ(serial.utilization, parallel.utilization);
         EXPECT_EQ(serial.throughput_seq_s, parallel.throughput_seq_s);
+        EXPECT_EQ(serial.total_energy_j, parallel.total_energy_j);
+        EXPECT_EQ(serial.energy_per_seq_j, parallel.energy_per_seq_j);
         ASSERT_EQ(serial.accel_busy_ms.size(),
                   parallel.accel_busy_ms.size());
         for (size_t a = 0; a < serial.accel_busy_ms.size(); ++a)
@@ -240,6 +242,45 @@ TEST(ParallelDeterminism, FleetDispatchBitIdentical)
         EXPECT_EQ(serial.latency.mean(), parallel.latency.mean());
         EXPECT_EQ(serial.latency.max(), parallel.latency.max());
     }
+}
+
+TEST(ParallelDeterminism, MixedFleetDispatchBitIdentical)
+{
+    // The heterogeneous dispatcher (different device kinds and speed
+    // bins) keeps the PR 1 contract: bit-identical reports at every
+    // thread count.
+    Rng len_rng(4242);
+    std::vector<size_t> lens;
+    for (int i = 0; i < 12; ++i)
+        lens.push_back(128 + 64 * len_rng.uniformInt(12));
+    auto runFleet = [&] {
+        FleetConfig fc;
+        fc.devices = {
+            DeviceSpec{"dota-c", 2, 1.0, DeviceOptions{}},
+            DeviceSpec{"dota-c", 1, 1.5, DeviceOptions{}},
+            DeviceSpec{"elsa", 1, 1.0, DeviceOptions{}},
+            DeviceSpec{"gpu-v100", 1, 1.0, DeviceOptions{}},
+        };
+        FleetSimulator fleet(fc, benchmark(BenchmarkId::Text));
+        return fleet.run(lens);
+    };
+    auto [serial, parallel] = atBothThreadCounts(runFleet);
+    EXPECT_EQ(serial.makespan_ms, parallel.makespan_ms);
+    EXPECT_EQ(serial.total_work_ms, parallel.total_work_ms);
+    EXPECT_EQ(serial.mean_latency_ms, parallel.mean_latency_ms);
+    EXPECT_EQ(serial.max_latency_ms, parallel.max_latency_ms);
+    EXPECT_EQ(serial.total_energy_j, parallel.total_energy_j);
+    EXPECT_EQ(serial.energy_per_seq_j, parallel.energy_per_seq_j);
+    ASSERT_EQ(serial.accel_busy_ms.size(),
+              parallel.accel_busy_ms.size());
+    for (size_t a = 0; a < serial.accel_busy_ms.size(); ++a)
+        EXPECT_EQ(serial.accel_busy_ms[a], parallel.accel_busy_ms[a]);
+    ASSERT_EQ(serial.accel_device.size(), parallel.accel_device.size());
+    for (size_t a = 0; a < serial.accel_device.size(); ++a)
+        EXPECT_EQ(serial.accel_device[a], parallel.accel_device[a]);
+    EXPECT_EQ(serial.latency.count(), parallel.latency.count());
+    EXPECT_EQ(serial.latency.mean(), parallel.latency.mean());
+    EXPECT_EQ(serial.latency.max(), parallel.latency.max());
 }
 
 TEST(ParallelDeterminism, RepeatedParallelRunsAreStable)
