@@ -11,6 +11,14 @@
  *            [--dataflow ooo|inorder|rowbyrow] [--sigma S] [--bits B]
  *            [--overlap] [--generation] [--csv]
  *
+ * Online-serving mode (src/serve/): replay a seeded arrival trace on a
+ * fleet of the selected device under an optional fault plan:
+ *   dota_cli --serve [--accelerators N] [--arrival-rate R]
+ *            [--requests N] [--process poisson|burst|diurnal]
+ *            [--arrival-seed S] [--fault-seed S]
+ *            [--fault-plan SPEC] [--timeout-ms T] [--retries R]
+ *            [--deadline-ms D] [--queue-limit N]
+ *
  * Device keys come from DeviceRegistry (`--device list` prints them);
  * the legacy aliases "dota" (mode picked by --mode) and "gpu" are still
  * accepted.
@@ -20,6 +28,8 @@
  *   dota_cli --benchmark LM --generation --mode conservative
  *   dota_cli --device gpu-v100 --benchmark Text
  *   dota_cli --device list
+ *   dota_cli --serve --arrival-rate 400 --requests 200 \
+ *            --fault-plan "kill:0@100,revive:0@400,transient:0.02"
  */
 #include <iostream>
 
@@ -41,6 +51,13 @@ struct CliOptions
     bool csv = false;
     bool trace = false;
     SimOptions sim;
+    // --serve mode
+    bool serve = false;
+    size_t accelerators = 4;
+    TraceConfig arrivals;
+    std::string fault_plan;
+    uint64_t fault_seed = 1;
+    ServePolicy policy;
 };
 
 [[noreturn]] void
@@ -54,6 +71,13 @@ usage()
         "rowbyrow]\n"
         "                [--sigma S] [--bits 2|4|8] [--overlap]\n"
         "                [--generation] [--trace] [--csv]\n"
+        "       dota_cli --serve [--accelerators N] [--arrival-rate R]\n"
+        "                [--requests N] [--process poisson|burst|"
+        "diurnal]\n"
+        "                [--arrival-seed S] [--fault-seed S]\n"
+        "                [--fault-plan SPEC] [--timeout-ms T]\n"
+        "                [--retries R] [--deadline-ms D] "
+        "[--queue-limit N]\n"
         "device keys: " << join(DeviceRegistry::keys(), ", ")
               << " (plus aliases dota, gpu)\n";
     std::exit(2);
@@ -119,6 +143,38 @@ parse(int argc, char **argv)
             opt.sim.detector_bits = std::stoi(need(i));
         } else if (arg == "--overlap") {
             opt.sim.overlap_detection = true;
+        } else if (arg == "--serve") {
+            opt.serve = true;
+        } else if (arg == "--accelerators") {
+            opt.accelerators = std::stoul(need(i));
+        } else if (arg == "--arrival-rate") {
+            opt.arrivals.rate_per_s = std::stod(need(i));
+        } else if (arg == "--requests") {
+            opt.arrivals.requests = std::stoul(need(i));
+        } else if (arg == "--process") {
+            const std::string p = toLower(need(i));
+            if (p == "poisson")
+                opt.arrivals.process = ArrivalProcess::Poisson;
+            else if (p == "burst")
+                opt.arrivals.process = ArrivalProcess::Burst;
+            else if (p == "diurnal")
+                opt.arrivals.process = ArrivalProcess::Diurnal;
+            else
+                usage();
+        } else if (arg == "--arrival-seed") {
+            opt.arrivals.seed = std::stoull(need(i));
+        } else if (arg == "--fault-seed") {
+            opt.fault_seed = std::stoull(need(i));
+        } else if (arg == "--fault-plan") {
+            opt.fault_plan = need(i);
+        } else if (arg == "--timeout-ms") {
+            opt.policy.timeout_ms = std::stod(need(i));
+        } else if (arg == "--retries") {
+            opt.policy.max_retries = std::stoul(need(i));
+        } else if (arg == "--deadline-ms") {
+            opt.arrivals.deadline_ms = std::stod(need(i));
+        } else if (arg == "--queue-limit") {
+            opt.policy.queue_limit = std::stoul(need(i));
         } else if (arg == "--generation") {
             opt.generation = true;
         } else if (arg == "--trace") {
@@ -136,13 +192,13 @@ parse(int argc, char **argv)
 }
 
 void
-listDevices()
+listDevices(std::ostream &os)
 {
     Table t("registered devices");
     t.header({"key", "description"});
     for (const std::string &key : DeviceRegistry::keys())
         t.addRow({key, DeviceRegistry::describe(key)});
-    t.print(std::cout);
+    t.print(os);
 }
 
 /** Map legacy aliases onto registry keys. */
@@ -154,10 +210,44 @@ deviceKey(const CliOptions &opt)
     if (opt.device == "gpu")
         return "gpu-v100";
     if (!DeviceRegistry::contains(opt.device)) {
-        std::cerr << "unknown device '" << opt.device << "'\n";
-        usage();
+        // Don't surface the registry's fatal(): explain the key and
+        // show the same list --device=list would, then exit non-zero.
+        std::cerr << "unknown device '" << opt.device
+                  << "'; pick one of these keys (or the aliases dota, "
+                     "gpu):\n";
+        listDevices(std::cerr);
+        std::exit(2);
     }
     return opt.device;
+}
+
+/** --serve: replay a seeded arrival trace under the fault plan. */
+int
+runServe(const CliOptions &opt)
+{
+    const Benchmark &bench = benchmarkByName(opt.benchmark);
+    ServeConfig sc;
+    DeviceSpec spec;
+    spec.key = deviceKey(opt);
+    spec.count = opt.accelerators;
+    sc.devices = {spec};
+    sc.policy = opt.policy;
+    const RequestTrace trace = generateTrace(opt.arrivals);
+    const FaultPlan plan = opt.fault_plan.empty()
+                               ? FaultPlan{}
+                               : parseFaultPlan(opt.fault_plan);
+    ServingSimulator sim(sc, bench);
+    std::cout << "serving " << trace.requests.size() << " "
+              << bench.name << " requests ("
+              << arrivalProcessName(opt.arrivals.process) << " "
+              << fmtNum(opt.arrivals.rate_per_s, 1)
+              << " req/s, arrival seed " << opt.arrivals.seed
+              << ") on " << sim.size() << "x " << spec.key
+              << "\nfault plan: " << describeFaultPlan(plan)
+              << " (fault seed " << opt.fault_seed << ")\n\n";
+    const ServeReport rep = sim.run(trace, plan, opt.fault_seed);
+    rep.print(std::cout);
+    return 0;
 }
 
 void
@@ -191,9 +281,11 @@ main(int argc, char **argv)
 {
     const CliOptions opt = parse(argc, argv);
     if (opt.device == "list") {
-        listDevices();
+        listDevices(std::cout);
         return 0;
     }
+    if (opt.serve)
+        return runServe(opt);
     const Benchmark &bench = benchmarkByName(opt.benchmark);
     const std::string key = deviceKey(opt);
 

@@ -48,6 +48,11 @@
 #include "nn/decode.hpp"
 #include "nn/serialize.hpp"
 #include "sched/dataflow.hpp"
+#include "serve/dispatcher.hpp"
+#include "serve/fault.hpp"
+#include "serve/report.hpp"
+#include "serve/simulator.hpp"
+#include "serve/trace.hpp"
 #include "sim/accelerator.hpp"
 #include "sim/pe_model.hpp"
 #include "sim/trace.hpp"

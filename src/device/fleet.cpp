@@ -223,13 +223,17 @@ FleetSimulator::run(const std::vector<size_t> &seq_lens) const
                                            report.accel_busy_ms.end());
     report.mean_latency_ms =
         latency_sum / static_cast<double>(jobs);
-    report.utilization =
-        report.total_work_ms /
-        (report.makespan_ms * static_cast<double>(n_accel));
-    report.throughput_seq_s =
-        static_cast<double>(jobs) / (report.makespan_ms * 1e-3);
-    report.energy_per_seq_j =
-        report.total_energy_j / static_cast<double>(jobs);
+    // A zero makespan (every job had zero service time) must not turn
+    // the rate metrics into inf/NaN.
+    if (report.makespan_ms > 0.0) {
+        report.utilization =
+            report.total_work_ms /
+            (report.makespan_ms * static_cast<double>(n_accel));
+        report.throughput_seq_s =
+            static_cast<double>(jobs) / (report.makespan_ms * 1e-3);
+        report.energy_per_seq_j =
+            report.total_energy_j / static_cast<double>(jobs);
+    }
     return report;
 }
 

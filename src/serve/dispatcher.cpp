@@ -1,0 +1,119 @@
+/**
+ * @file
+ * RobustDispatcher policy implementation.
+ */
+#include "serve/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+RobustDispatcher::RobustDispatcher(ServePolicy policy, size_t n_devices)
+    : policy_(policy), health_(n_devices)
+{
+    DOTA_ASSERT(n_devices >= 1, "dispatcher needs at least one device");
+}
+
+bool
+RobustDispatcher::admit(const QueuedJob &job, bool forced)
+{
+    if (!forced && policy_.queue_limit > 0 &&
+        queue_.size() >= policy_.queue_limit)
+        return false;
+    queue_.emplace(std::make_pair(job.req.arrival_ms, job.req.id), job);
+    return true;
+}
+
+std::optional<QueuedJob>
+RobustDispatcher::peek() const
+{
+    if (queue_.empty())
+        return std::nullopt;
+    return queue_.begin()->second;
+}
+
+QueuedJob
+RobustDispatcher::pop()
+{
+    DOTA_ASSERT(!queue_.empty(), "pop from empty admission queue");
+    QueuedJob job = queue_.begin()->second;
+    queue_.erase(queue_.begin());
+    return job;
+}
+
+bool
+RobustDispatcher::expired(const QueuedJob &job, double now) const
+{
+    return policy_.max_queue_age_ms > 0.0 &&
+           now - job.req.arrival_ms > policy_.max_queue_age_ms;
+}
+
+bool
+RobustDispatcher::breakerOpen(size_t device, double now) const
+{
+    return now < health_[device].open_until;
+}
+
+double
+RobustDispatcher::breakerOpenUntil(size_t device) const
+{
+    return health_[device].open_until;
+}
+
+void
+RobustDispatcher::onSuccess(size_t device)
+{
+    health_[device].consecutive_failures = 0;
+}
+
+bool
+RobustDispatcher::onFailure(size_t device, double now)
+{
+    Health &h = health_[device];
+    ++h.consecutive_failures;
+    if (policy_.breaker_threshold > 0 &&
+        h.consecutive_failures >= policy_.breaker_threshold) {
+        // Trip: cool the device down, then give it a fresh chance
+        // (half-open) by resetting the failure streak.
+        h.open_until = now + policy_.breaker_cooldown_ms;
+        h.consecutive_failures = 0;
+        ++h.trips;
+        return true;
+    }
+    return false;
+}
+
+size_t
+RobustDispatcher::breakerTrips(size_t device) const
+{
+    return health_[device].trips;
+}
+
+double
+RobustDispatcher::backoffMs(size_t attempt) const
+{
+    DOTA_ASSERT(attempt >= 1, "backoff is for retry attempts");
+    double delay = policy_.backoff_ms;
+    for (size_t i = 1; i < attempt && delay < policy_.backoff_cap_ms;
+         ++i)
+        delay *= 2.0;
+    return std::min(delay, policy_.backoff_cap_ms);
+}
+
+size_t
+RobustDispatcher::degradeLevel(size_t queued, size_t alive) const
+{
+    if (!policy_.degradation)
+        return 0;
+    const double load = static_cast<double>(queued) /
+                        static_cast<double>(std::max<size_t>(1, alive));
+    if (load >= policy_.degrade_depth_2)
+        return 2;
+    if (load >= policy_.degrade_depth_1)
+        return 1;
+    return 0;
+}
+
+} // namespace dota

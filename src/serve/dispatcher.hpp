@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Robust dispatch policy for the online serving simulator: bounded
+ * admission with load shedding, per-request timeout and capped
+ * exponential-backoff retries, per-device consecutive-failure circuit
+ * breakers, and the graceful-degradation ladder trigger.
+ *
+ * The RobustDispatcher is the policy brain; the ServingSimulator
+ * (simulator.hpp) owns virtual time and calls into it from the serial
+ * event loop, so all dispatcher state transitions happen in a single
+ * deterministic order regardless of DOTA_THREADS.
+ */
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "serve/trace.hpp"
+
+namespace dota {
+
+/** Robustness and degradation knobs of a serving run. */
+struct ServePolicy
+{
+    /** Per-attempt service timeout; 0 disables timeouts. */
+    double timeout_ms = 0.0;
+
+    /** Additional attempts after the first (0 = no retries). */
+    size_t max_retries = 3;
+
+    /** Retry backoff: min(backoff_cap_ms, backoff_ms * 2^(attempt-1)). */
+    double backoff_ms = 2.0;
+    double backoff_cap_ms = 64.0;
+
+    /** Consecutive failures on one device that open its breaker. */
+    size_t breaker_threshold = 3;
+
+    /** How long an open breaker keeps the device unschedulable. */
+    double breaker_cooldown_ms = 250.0;
+
+    /** Admission-queue depth bound; arrivals beyond it are shed
+     * (0 = unbounded). Retries and failovers are always re-admitted. */
+    size_t queue_limit = 256;
+
+    /** Shed queued requests older than this at dispatch time (0 = off). */
+    double max_queue_age_ms = 0.0;
+
+    /**
+     * Graceful degradation: when the queue holds at least
+     * degrade_depth_1 (resp. _2) requests per alive device, dispatch at
+     * ladder level 1 (resp. 2) — trading detector retention (accuracy)
+     * for latency. Only DOTA devices can downshift; see simulator.hpp.
+     */
+    bool degradation = true;
+    double degrade_depth_1 = 4.0;
+    double degrade_depth_2 = 8.0;
+};
+
+/** A request waiting in the admission queue (with retry state). */
+struct QueuedJob
+{
+    Request req;
+    size_t attempts = 0; ///< dispatch attempts consumed so far
+};
+
+/**
+ * Policy state machine: admission queue ordered by (arrival, id),
+ * per-device circuit breakers, backoff schedule and degradation level.
+ */
+class RobustDispatcher
+{
+  public:
+    RobustDispatcher(ServePolicy policy, size_t n_devices);
+
+    const ServePolicy &policy() const { return policy_; }
+
+    /**
+     * Admit @p job to the queue. New arrivals respect the queue bound
+     * and return false when shed; retries and failovers (@p forced)
+     * are always admitted so no in-flight request is silently lost.
+     */
+    bool admit(const QueuedJob &job, bool forced);
+
+    /** Oldest queued job, if any (does not pop). */
+    std::optional<QueuedJob> peek() const;
+
+    /** Pop the oldest queued job. */
+    QueuedJob pop();
+
+    size_t queueDepth() const { return queue_.size(); }
+
+    /** True when @p job has waited past max_queue_age_ms at @p now. */
+    bool expired(const QueuedJob &job, double now) const;
+
+    /** Whether @p device is schedulable breaker-wise at @p now. */
+    bool breakerOpen(size_t device, double now) const;
+
+    /** When the breaker of @p device re-closes (0 if closed). */
+    double breakerOpenUntil(size_t device) const;
+
+    /** Record a successful attempt on @p device. */
+    void onSuccess(size_t device);
+
+    /**
+     * Record a failed attempt on @p device at @p now. Returns true when
+     * this failure trips the breaker (device enters cooldown).
+     */
+    bool onFailure(size_t device, double now);
+
+    /** Breaker trips recorded for @p device so far. */
+    size_t breakerTrips(size_t device) const;
+
+    /** Capped exponential backoff before retry @p attempt (1-based). */
+    double backoffMs(size_t attempt) const;
+
+    /**
+     * Degradation ladder level for the current pressure: queued
+     * requests per alive device against the degrade_depth thresholds.
+     */
+    size_t degradeLevel(size_t queued, size_t alive) const;
+
+  private:
+    struct Health
+    {
+        size_t consecutive_failures = 0;
+        double open_until = 0.0;
+        size_t trips = 0;
+    };
+
+    ServePolicy policy_;
+    std::vector<Health> health_;
+    /** (arrival_ms, id) -> job; ids are unique so keys never collide. */
+    std::map<std::pair<double, size_t>, QueuedJob> queue_;
+};
+
+} // namespace dota

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fault-plan parsing and schedule materialization.
+ */
+#include "serve/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace dota {
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Kill:
+        return "kill";
+      case FaultKind::Revive:
+        return "revive";
+      case FaultKind::SlowStart:
+        return "slow-start";
+      case FaultKind::SlowEnd:
+        return "slow-end";
+    }
+    DOTA_PANIC("unknown fault kind");
+}
+
+namespace {
+
+/** Parse a non-negative double; fatal() with context on junk. */
+double
+parseNum(const std::string &text, const std::string &token)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0.0)
+        DOTA_FATAL("bad number '{}' in fault-plan token '{}'", text,
+                   token);
+    return v;
+}
+
+size_t
+parseDev(const std::string &text, const std::string &token)
+{
+    for (char c : text)
+        if (c < '0' || c > '9')
+            DOTA_FATAL("bad device index '{}' in fault-plan token '{}'",
+                       text, token);
+    return static_cast<size_t>(parseNum(text, token));
+}
+
+} // namespace
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &raw : split(spec, ',')) {
+        const std::string token = trim(raw);
+        if (token.empty())
+            continue;
+        const size_t colon = token.find(':');
+        if (colon == std::string::npos)
+            DOTA_FATAL("fault-plan token '{}' has no ':' (expected "
+                       "kill/revive/slow/transient/mtbf:<args>)",
+                       token);
+        const std::string verb = toLower(token.substr(0, colon));
+        const std::string args = token.substr(colon + 1);
+        if (verb == "transient") {
+            plan.transient_prob = parseNum(args, token);
+            if (plan.transient_prob > 1.0)
+                DOTA_FATAL("transient probability {} > 1 in '{}'",
+                           plan.transient_prob, token);
+        } else if (verb == "mtbf") {
+            const size_t x = args.find('x');
+            if (x == std::string::npos)
+                DOTA_FATAL("mtbf token '{}' needs <mtbf_ms>x<repair_ms>",
+                           token);
+            plan.mtbf_ms = parseNum(args.substr(0, x), token);
+            plan.repair_ms = parseNum(args.substr(x + 1), token);
+        } else if (verb == "kill" || verb == "revive") {
+            const size_t at = args.find('@');
+            if (at == std::string::npos)
+                DOTA_FATAL("{} token '{}' needs <dev>@<ms>", verb,
+                           token);
+            FaultEvent ev;
+            ev.device = parseDev(args.substr(0, at), token);
+            ev.t_ms = parseNum(args.substr(at + 1), token);
+            ev.kind = verb == "kill" ? FaultKind::Kill
+                                     : FaultKind::Revive;
+            plan.events.push_back(ev);
+        } else if (verb == "slow") {
+            const size_t at = args.find('@');
+            const size_t dash = args.find('-', at);
+            const size_t x = args.find('x', dash);
+            if (at == std::string::npos || dash == std::string::npos ||
+                x == std::string::npos)
+                DOTA_FATAL("slow token '{}' needs "
+                           "<dev>@<t0>-<t1>x<factor>",
+                           token);
+            const size_t dev = parseDev(args.substr(0, at), token);
+            const double t0 =
+                parseNum(args.substr(at + 1, dash - at - 1), token);
+            const double t1 =
+                parseNum(args.substr(dash + 1, x - dash - 1), token);
+            const double factor = parseNum(args.substr(x + 1), token);
+            if (t1 <= t0 || factor < 1.0)
+                DOTA_FATAL("slow token '{}' needs t1 > t0 and factor "
+                           ">= 1",
+                           token);
+            plan.events.push_back({t0, dev, FaultKind::SlowStart,
+                                   factor});
+            plan.events.push_back({t1, dev, FaultKind::SlowEnd, 1.0});
+        } else {
+            DOTA_FATAL("unknown fault-plan verb '{}' in '{}' (expected "
+                       "kill, revive, slow, transient or mtbf)",
+                       verb, token);
+        }
+    }
+    return plan;
+}
+
+std::string
+describeFaultPlan(const FaultPlan &plan)
+{
+    std::vector<std::string> parts;
+    for (const FaultEvent &ev : plan.events) {
+        switch (ev.kind) {
+          case FaultKind::Kill:
+          case FaultKind::Revive:
+            parts.push_back(format("{}:{}@{}", faultKindName(ev.kind),
+                                   ev.device, ev.t_ms));
+            break;
+          case FaultKind::SlowStart:
+            parts.push_back(format("slow:{}@{}-?x{}", ev.device,
+                                   ev.t_ms, ev.factor));
+            break;
+          case FaultKind::SlowEnd:
+            parts.push_back(format("slow-end:{}@{}", ev.device,
+                                   ev.t_ms));
+            break;
+        }
+    }
+    if (plan.transient_prob > 0.0)
+        parts.push_back(format("transient:{}", plan.transient_prob));
+    if (plan.mtbf_ms > 0.0)
+        parts.push_back(format("mtbf:{}x{}", plan.mtbf_ms,
+                               plan.repair_ms));
+    return parts.empty() ? "none" : join(parts, ",");
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, size_t n_devices,
+                             double horizon_ms, uint64_t seed)
+    : events_(plan.events), transient_prob_(plan.transient_prob)
+{
+    for (const FaultEvent &ev : events_)
+        if (ev.device >= n_devices)
+            DOTA_FATAL("fault event targets device {} but the fleet "
+                       "has {} devices",
+                       ev.device, n_devices);
+    if (plan.mtbf_ms > 0.0) {
+        // Expand random fail-stop faults per device from the fault
+        // seed. Each device forks its own stream so the schedule does
+        // not depend on iteration interleaving.
+        Rng root(seed);
+        for (size_t d = 0; d < n_devices; ++d) {
+            Rng rng = root.fork();
+            double t = 0.0;
+            for (;;) {
+                double u;
+                do {
+                    u = rng.uniform();
+                } while (u >= 1.0 - 1e-12);
+                t += -std::log(1.0 - u) * plan.mtbf_ms;
+                if (t >= horizon_ms)
+                    break;
+                events_.push_back({t, d, FaultKind::Kill, 1.0});
+                t += plan.repair_ms;
+                events_.push_back({t, d, FaultKind::Revive, 1.0});
+            }
+        }
+    }
+    // Deterministic order: time, then device, then kind (Kill before
+    // Revive, so an instantaneous kill+revive pair nets to "alive").
+    std::sort(events_.begin(), events_.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  if (a.t_ms != b.t_ms)
+                      return a.t_ms < b.t_ms;
+                  if (a.device != b.device)
+                      return a.device < b.device;
+                  return static_cast<int>(a.kind) <
+                         static_cast<int>(b.kind);
+              });
+}
+
+} // namespace dota

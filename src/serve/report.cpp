@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ServeReport rendering and percentile helper.
+ */
+#include "serve/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+#include "common/table.hpp"
+
+namespace dota {
+
+std::string
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::Completed:
+        return "completed";
+      case RequestStatus::ShedQueueFull:
+        return "shed-queue-full";
+      case RequestStatus::ShedExpired:
+        return "shed-expired";
+      case RequestStatus::ShedStarved:
+        return "shed-starved";
+      case RequestStatus::Failed:
+        return "failed";
+    }
+    DOTA_PANIC("unknown request status");
+}
+
+size_t
+ServeReport::shed() const
+{
+    return shed_queue_full + shed_expired + shed_starved;
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    DOTA_ASSERT(q >= 0.0 && q <= 1.0, "percentile fraction in [0,1]");
+    const double rank = q * static_cast<double>(sorted.size());
+    size_t idx = static_cast<size_t>(std::ceil(rank));
+    idx = idx > 0 ? idx - 1 : 0;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void
+ServeReport::print(std::ostream &os) const
+{
+    Table t("serving report");
+    t.header({"metric", "value"});
+    t.addRow({"requests", fmtNum(double(requests), 0)});
+    t.addRow({"completed", fmtNum(double(completed), 0)});
+    t.addRow({"failed (retries exhausted)", fmtNum(double(failed), 0)});
+    t.addRow({"shed (full/expired/starved)",
+              format("{} ({}/{}/{})", shed(), shed_queue_full,
+                     shed_expired, shed_starved)});
+    t.addRow({"retries", fmtNum(double(retries), 0)});
+    t.addRow({"failovers", fmtNum(double(failovers), 0)});
+    t.addRow({"transient errors", fmtNum(double(transient_errors), 0)});
+    t.addRow({"timeouts", fmtNum(double(timeouts), 0)});
+    t.addRow({"breaker trips", fmtNum(double(breaker_trips), 0)});
+    t.addRow({"latency p50/p95/p99",
+              format("{} / {} / {} ms", fmtNum(p50_ms, 2),
+                     fmtNum(p95_ms, 2), fmtNum(p99_ms, 2))});
+    t.addRow({"mean / max latency",
+              format("{} / {} ms", fmtNum(mean_latency_ms, 2),
+                     fmtNum(max_latency_ms, 2))});
+    t.addRow({"deadline miss rate", fmtPct(deadline_miss_rate)});
+    t.addRow({"goodput", fmtNum(goodput_seq_s, 1) + " seq/s"});
+    t.addRow({"horizon", fmtNum(horizon_ms, 1) + " ms"});
+    t.addRow({"energy", fmtNum(total_energy_j, 3) + " J"});
+    std::vector<std::string> levels;
+    for (size_t l = 0; l < completed_by_level.size(); ++l)
+        levels.push_back(format("L{}:{}", l, completed_by_level[l]));
+    t.addRow({"served by ladder level",
+              levels.empty() ? "-" : join(levels, " ")});
+    t.addRow({"mean retention served", fmtNum(mean_retention, 3)});
+    t.print(os);
+
+    Table d("per-device health");
+    d.header({"device", "model", "busy", "served", "failed attempts",
+              "breaker trips", "downtime"});
+    for (size_t a = 0; a < devices.size(); ++a) {
+        const DeviceServeStats &dev = devices[a];
+        double down = 0.0;
+        for (const auto &[lo, hi] : dev.down_intervals)
+            down += hi - lo;
+        d.addRow({fmtNum(double(a), 0), dev.name,
+                  fmtNum(dev.busy_ms, 1) + "ms",
+                  fmtNum(double(dev.completed), 0),
+                  fmtNum(double(dev.failed_attempts), 0),
+                  fmtNum(double(dev.breaker_trips), 0),
+                  fmtNum(down, 1) + "ms"});
+    }
+    d.print(os);
+}
+
+} // namespace dota

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Outcome report of one online serving run.
+ *
+ * The ServeReport is the serving analogue of FleetReport: tail-latency
+ * percentiles, deadline-miss rate, goodput, shed/retry/failover
+ * counters, per-device health timelines (down intervals, breaker
+ * trips), the degraded-mode fractions of the graceful-degradation
+ * ladder, and a per-request outcome log that the chaos tests use to
+ * check conservation ("no request lost") and isolation ("no request
+ * served by a dead device"). Identical seeds produce a bit-identical
+ * report at every DOTA_THREADS (see DESIGN.md §9).
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dota {
+
+/** Terminal state of one request. */
+enum class RequestStatus
+{
+    Completed,    ///< served (possibly after retries/failover)
+    ShedQueueFull,///< rejected at admission: queue over its bound
+    ShedExpired,  ///< dropped at dispatch: waited past max queue age
+    ShedStarved,  ///< never served: capacity gone for the rest of run
+    Failed,       ///< all retry attempts exhausted
+};
+
+/** Display name, e.g. "completed". */
+std::string requestStatusName(RequestStatus status);
+
+/** Terminal record of one request. */
+struct RequestOutcome
+{
+    size_t id = 0;
+    double arrival_ms = 0.0;
+    size_t seq_len = 0;
+    RequestStatus status = RequestStatus::Completed;
+    /** Serving device of the final attempt; -1 when never dispatched. */
+    int device = -1;
+    double dispatch_ms = 0.0; ///< final attempt start (completed only)
+    double finish_ms = 0.0;   ///< terminal time
+    size_t attempts = 0;      ///< dispatch attempts consumed
+    size_t level = 0;         ///< degradation ladder level served at
+    double retention = 0.0;   ///< accuracy proxy actually served
+    bool deadline_missed = false;
+};
+
+/** Health timeline of one device over the run. */
+struct DeviceServeStats
+{
+    std::string name;
+    double busy_ms = 0.0;
+    size_t completed = 0;         ///< successful attempts
+    size_t failed_attempts = 0;   ///< transient + timeout attempts
+    size_t breaker_trips = 0;
+    /** Fail-stop downtime intervals [down, up); up = horizon when the
+     * device never revived. */
+    std::vector<std::pair<double, double>> down_intervals;
+};
+
+/** Outcome of one serving run. */
+struct ServeReport
+{
+    // Conservation: requests == completed + shed() + failed.
+    size_t requests = 0;   ///< trace size
+    size_t completed = 0;
+    size_t failed = 0;     ///< exhausted retries
+    size_t shed_queue_full = 0;
+    size_t shed_expired = 0;
+    size_t shed_starved = 0;
+    size_t shed() const;
+
+    // Robustness activity.
+    size_t retries = 0;          ///< re-dispatches after failed attempts
+    size_t failovers = 0;        ///< in-flight jobs rescued from deaths
+    size_t transient_errors = 0; ///< attempts failed by injected errors
+    size_t timeouts = 0;         ///< attempts failed by the timeout
+    size_t breaker_trips = 0;
+
+    // Latency of completed requests (arrival -> completion).
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+
+    // Service quality.
+    size_t deadline_misses = 0;   ///< completed but past the deadline
+    double deadline_miss_rate = 0.0; ///< misses / completed
+    /** In-deadline completions per second of run horizon. */
+    double goodput_seq_s = 0.0;
+    double horizon_ms = 0.0;      ///< virtual time of the last event
+    double total_energy_j = 0.0;  ///< energy of all attempts (prorated)
+
+    // Graceful degradation: completions per ladder level (index 0 =
+    // full-fidelity native mode) and the mean retention actually served.
+    std::vector<size_t> completed_by_level;
+    double mean_retention = 0.0;
+
+    std::vector<DeviceServeStats> devices;
+    std::vector<RequestOutcome> outcomes; ///< one per request, by id
+
+    /** Render the headline table + per-device health table. */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Exact empirical percentile of @p sorted (ascending) at fraction
+ * @p q in [0, 1]: the ceil(q*n)-th order statistic. 0 when empty.
+ */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+} // namespace dota

@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Event-driven serving simulator implementation.
+ *
+ * The event loop is strictly serial: one min-heap of (time, seq)
+ * ordered events, where seq is the push order. All random draws
+ * (transient failures) happen inside the loop from the fault seed, and
+ * the only parallel section is warmCostCache()'s fixed-order cost
+ * evaluation — which is what makes the ServeReport bit-identical at
+ * every DOTA_THREADS.
+ */
+#include "serve/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "device/dota_device.hpp"
+
+namespace dota {
+
+namespace {
+
+/** Degradation ladder: DOTA modes by decreasing retention. */
+constexpr DotaMode kLadder[] = {DotaMode::Full, DotaMode::Conservative,
+                                DotaMode::Aggressive};
+constexpr size_t kLadderLen = sizeof(kLadder) / sizeof(kLadder[0]);
+
+} // namespace
+
+ServingSimulator::ServingSimulator(ServeConfig cfg,
+                                   const Benchmark &bench)
+    : bench_(bench), policy_(cfg.policy)
+{
+    std::vector<DeviceSpec> specs = std::move(cfg.devices);
+    if (specs.empty()) {
+        DeviceSpec spec;
+        spec.key = dotaModeKey(cfg.mode);
+        spec.count = cfg.accelerators;
+        spec.opts = cfg.options;
+        specs.push_back(std::move(spec));
+    }
+    for (const DeviceSpec &spec : specs) {
+        DOTA_ASSERT(spec.count >= 1, "device spec needs count >= 1");
+        DOTA_ASSERT(spec.speed > 0.0, "device speed must be positive");
+        // The native device, plus — for DOTA parts — every ladder mode
+        // below it in retention, as pre-built degradation variants.
+        std::vector<std::unique_ptr<Device>> protos;
+        std::vector<double> retention;
+        size_t start = kLadderLen;
+        for (size_t m = 0; m < kLadderLen; ++m)
+            if (dotaModeKey(kLadder[m]) == spec.key)
+                start = m;
+        if (start < kLadderLen) {
+            for (size_t m = start; m < kLadderLen; ++m) {
+                protos.push_back(DeviceRegistry::create(
+                    dotaModeKey(kLadder[m]), spec.opts));
+                retention.push_back(modeRetention(bench_, kLadder[m]));
+            }
+        } else {
+            protos.push_back(DeviceRegistry::create(spec.key,
+                                                    spec.opts));
+            retention.push_back(1.0); // no retention knob to turn
+        }
+        max_ladder_ = std::max(max_ladder_, protos.size());
+        for (size_t i = 0; i < spec.count; ++i) {
+            Slot slot;
+            for (const auto &proto : protos)
+                slot.variants.push_back(proto->clone());
+            slot.retention = retention;
+            slot.speed = spec.speed;
+            slot.group = groups_;
+            slots_.push_back(std::move(slot));
+        }
+        ++groups_;
+    }
+    DOTA_ASSERT(!slots_.empty(), "serving fleet needs at least one "
+                                 "accelerator");
+}
+
+size_t
+ServingSimulator::ladderDepth(size_t accel) const
+{
+    return slots_[accel].variants.size();
+}
+
+std::string
+ServingSimulator::deviceName(size_t accel, size_t level) const
+{
+    const Slot &slot = slots_[accel];
+    return slot.variants[std::min(level, slot.variants.size() - 1)]
+        ->name();
+}
+
+double
+ServingSimulator::retention(size_t accel, size_t level) const
+{
+    const Slot &slot = slots_[accel];
+    return slot.retention[std::min(level, slot.retention.size() - 1)];
+}
+
+ServingSimulator::Cost
+ServingSimulator::groupCost(size_t group, size_t level,
+                            size_t seq_len) const
+{
+    const std::tuple<size_t, size_t, size_t> key{group, level, seq_len};
+    {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        auto it = cost_cache_.find(key);
+        if (it != cost_cache_.end())
+            return it->second;
+    }
+    size_t rep = 0;
+    while (slots_[rep].group != group)
+        ++rep;
+    Benchmark b = bench_;
+    b.paper_shape.seq_len = seq_len;
+    const RunReport r = slots_[rep].variants[level]->simulate(b);
+    const Cost cost{r.timeMs(), r.totalEnergyJ()};
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    cost_cache_[key] = cost;
+    return cost;
+}
+
+double
+ServingSimulator::serviceMs(size_t accel, size_t level,
+                            size_t seq_len) const
+{
+    const Slot &slot = slots_[accel];
+    const size_t lvl = std::min(level, slot.variants.size() - 1);
+    return groupCost(slot.group, lvl, seq_len).ms / slot.speed;
+}
+
+void
+ServingSimulator::warmCostCache(
+    const std::vector<size_t> &seq_lens) const
+{
+    std::vector<size_t> rep_of(groups_);
+    for (size_t a = slots_.size(); a-- > 0;)
+        rep_of[slots_[a].group] = a;
+    std::vector<std::tuple<size_t, size_t, size_t>> missing;
+    {
+        std::set<size_t> distinct(seq_lens.begin(), seq_lens.end());
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        for (size_t g = 0; g < groups_; ++g) {
+            const size_t levels =
+                slots_[rep_of[g]].variants.size();
+            for (size_t l = 0; l < levels; ++l)
+                for (size_t n : distinct)
+                    if (!cost_cache_.count({g, l, n}))
+                        missing.push_back({g, l, n});
+        }
+    }
+    if (missing.empty())
+        return;
+    // Independent simulations land in a fixed-index array, then merge
+    // under the lock in deterministic order (the fleet-warming idiom).
+    std::vector<Cost> costs(missing.size());
+    parallelFor(0, missing.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            const auto [g, l, n] = missing[i];
+            Benchmark b = bench_;
+            b.paper_shape.seq_len = n;
+            const RunReport r =
+                slots_[rep_of[g]].variants[l]->simulate(b);
+            costs[i] = Cost{r.timeMs(), r.totalEnergyJ()};
+        }
+    });
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    for (size_t i = 0; i < missing.size(); ++i)
+        cost_cache_[missing[i]] = costs[i];
+}
+
+namespace {
+
+enum class EventType { Fault, Arrival, Retry, Probe, Completion };
+
+enum class AttemptFate { Success, Transient, Timeout };
+
+struct Event
+{
+    double t = 0.0;
+    uint64_t seq = 0; ///< push order; the deterministic tie-break
+    EventType type = EventType::Arrival;
+    QueuedJob job;          // Arrival / Retry / Completion
+    FaultEvent fault;       // Fault
+    size_t device = 0;      // Completion
+    uint64_t epoch = 0;     // Completion: device epoch at dispatch
+    size_t level = 0;       // Completion: ladder level served
+    double dispatch_t = 0.0;
+    double energy_j = 0.0;  // Completion: attempt energy (prorated)
+    AttemptFate fate = AttemptFate::Success;
+};
+
+struct EventLater
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+/** Runtime state of one fleet slot during a run. */
+struct DevState
+{
+    bool alive = true;
+    bool busy = false;
+    double slow = 1.0;       ///< straggler service-time multiplier
+    uint64_t epoch = 0;      ///< bumped on death; invalidates in-flight
+    double down_since = -1.0;
+    // In-flight attempt (valid while busy).
+    QueuedJob current;
+    double current_start = 0.0;
+    double current_end = 0.0;
+    double current_energy = 0.0;
+};
+
+} // namespace
+
+ServeReport
+ServingSimulator::run(const RequestTrace &trace, const FaultPlan &plan,
+                      uint64_t fault_seed) const
+{
+    const size_t n = slots_.size();
+    ServeReport rep;
+    rep.requests = trace.requests.size();
+    rep.completed_by_level.assign(max_ladder_, 0);
+    rep.devices.resize(n);
+    for (size_t a = 0; a < n; ++a)
+        rep.devices[a].name = slots_[a].variants[0]->name();
+    rep.outcomes.resize(trace.requests.size());
+    for (const Request &req : trace.requests) {
+        RequestOutcome &out = rep.outcomes[req.id];
+        out.id = req.id;
+        out.arrival_ms = req.arrival_ms;
+        out.seq_len = req.seq_len;
+        out.status = RequestStatus::ShedStarved;
+    }
+
+    warmCostCache(trace.distinctLengths());
+
+    // Random (MTBF) faults are generated out to twice the arrival
+    // horizon plus slack, so the drain phase stays under chaos too.
+    const double fault_horizon = trace.horizonMs() * 2.0 + 1000.0;
+    const FaultInjector injector(plan, n, fault_horizon, fault_seed);
+    // Transient draws use a stream forked off the same seed; the
+    // injector's schedule and the per-attempt draws stay independent.
+    Rng fault_rng(fault_seed ^ 0x9e3779b97f4a7c15ULL);
+
+    RobustDispatcher disp(policy_, n);
+    std::vector<DevState> dev(n);
+    std::priority_queue<Event, std::vector<Event>, EventLater> heap;
+    uint64_t seq = 0;
+    auto push = [&](Event ev) {
+        ev.seq = seq++;
+        heap.push(std::move(ev));
+    };
+
+    // Faults before arrivals so that at equal timestamps a device dies
+    // before it can accept newly arriving work.
+    for (const FaultEvent &f : injector.schedule()) {
+        Event ev;
+        ev.t = f.t_ms;
+        ev.type = EventType::Fault;
+        ev.fault = f;
+        push(std::move(ev));
+    }
+    for (const Request &req : trace.requests) {
+        Event ev;
+        ev.t = req.arrival_ms;
+        ev.type = EventType::Arrival;
+        ev.job = QueuedJob{req, 0};
+        push(std::move(ev));
+    }
+
+    double horizon = 0.0;
+    std::vector<double> latencies;
+    double retention_sum = 0.0;
+
+    auto aliveCount = [&] {
+        size_t count = 0;
+        for (const DevState &d : dev)
+            count += d.alive ? 1 : 0;
+        return count;
+    };
+
+    // Dispatch as many queued jobs as there are eligible idle devices.
+    auto dispatchLoop = [&](double now) {
+        for (;;) {
+            std::optional<QueuedJob> head = disp.peek();
+            if (!head)
+                return;
+            if (disp.expired(*head, now)) {
+                const QueuedJob job = disp.pop();
+                RequestOutcome &out = rep.outcomes[job.req.id];
+                out.status = RequestStatus::ShedExpired;
+                out.finish_ms = now;
+                out.attempts = job.attempts;
+                ++rep.shed_expired;
+                continue;
+            }
+            const size_t level =
+                disp.degradeLevel(disp.queueDepth(), aliveCount());
+            // Earliest-completion-time among eligible devices; the
+            // straggler multiplier is part of the choice, so dispatch
+            // routes around slowed devices when a faster one is free.
+            size_t target = n;
+            double best = std::numeric_limits<double>::infinity();
+            for (size_t a = 0; a < n; ++a) {
+                if (!dev[a].alive || dev[a].busy ||
+                    disp.breakerOpen(a, now))
+                    continue;
+                const double ms =
+                    serviceMs(a, level, head->req.seq_len) *
+                    dev[a].slow;
+                if (ms < best) {
+                    best = ms;
+                    target = a;
+                }
+            }
+            if (target == n)
+                return; // nobody eligible; a later event re-triggers
+            QueuedJob job = disp.pop();
+            ++job.attempts;
+            const Slot &slot = slots_[target];
+            const size_t lvl =
+                std::min(level, slot.variants.size() - 1);
+            const Cost cost =
+                groupCost(slot.group, lvl, job.req.seq_len);
+            const double service =
+                cost.ms / slot.speed * dev[target].slow;
+            Event done;
+            done.type = EventType::Completion;
+            done.device = target;
+            done.epoch = dev[target].epoch;
+            done.level = lvl;
+            done.dispatch_t = now;
+            if (policy_.timeout_ms > 0.0 &&
+                service > policy_.timeout_ms) {
+                // The attempt is cut off at the timeout; only the work
+                // actually performed burns energy.
+                done.fate = AttemptFate::Timeout;
+                done.t = now + policy_.timeout_ms;
+                done.energy_j =
+                    cost.energy_j * policy_.timeout_ms / service;
+            } else {
+                done.fate = injector.drawTransient(fault_rng)
+                                ? AttemptFate::Transient
+                                : AttemptFate::Success;
+                done.t = now + service;
+                done.energy_j = cost.energy_j;
+            }
+            done.job = job;
+            DevState &d = dev[target];
+            d.busy = true;
+            d.current = job;
+            d.current_start = now;
+            d.current_end = done.t;
+            d.current_energy = done.energy_j;
+            push(std::move(done));
+        }
+    };
+
+    while (!heap.empty()) {
+        const Event ev = heap.top();
+        heap.pop();
+        const double now = ev.t;
+        horizon = std::max(horizon, now);
+        switch (ev.type) {
+          case EventType::Arrival: {
+            if (!disp.admit(ev.job, /*forced=*/false)) {
+                RequestOutcome &out = rep.outcomes[ev.job.req.id];
+                out.status = RequestStatus::ShedQueueFull;
+                out.finish_ms = now;
+                ++rep.shed_queue_full;
+            }
+            dispatchLoop(now);
+            break;
+          }
+          case EventType::Retry: {
+            disp.admit(ev.job, /*forced=*/true);
+            dispatchLoop(now);
+            break;
+          }
+          case EventType::Probe: {
+            dispatchLoop(now);
+            break;
+          }
+          case EventType::Fault: {
+            DevState &d = dev[ev.fault.device];
+            switch (ev.fault.kind) {
+              case FaultKind::Kill:
+                if (!d.alive)
+                    break;
+                d.alive = false;
+                d.down_since = now;
+                ++d.epoch; // invalidates the in-flight completion
+                if (d.busy) {
+                    // Fail-over: rescue the in-flight request onto the
+                    // survivors. The partial work is still paid for.
+                    DeviceServeStats &stats =
+                        rep.devices[ev.fault.device];
+                    stats.busy_ms += now - d.current_start;
+                    const double span =
+                        d.current_end - d.current_start;
+                    if (span > 0.0)
+                        rep.total_energy_j +=
+                            d.current_energy *
+                            (now - d.current_start) / span;
+                    d.busy = false;
+                    ++rep.failovers;
+                    disp.admit(d.current, /*forced=*/true);
+                }
+                break;
+              case FaultKind::Revive:
+                if (d.alive)
+                    break;
+                d.alive = true;
+                rep.devices[ev.fault.device].down_intervals.push_back(
+                    {d.down_since, now});
+                d.down_since = -1.0;
+                break;
+              case FaultKind::SlowStart:
+                d.slow = ev.fault.factor;
+                break;
+              case FaultKind::SlowEnd:
+                d.slow = 1.0;
+                break;
+            }
+            dispatchLoop(now);
+            break;
+          }
+          case EventType::Completion: {
+            DevState &d = dev[ev.device];
+            if (ev.epoch != d.epoch)
+                break; // stale: the device died mid-service
+            DeviceServeStats &stats = rep.devices[ev.device];
+            d.busy = false;
+            stats.busy_ms += now - ev.dispatch_t;
+            rep.total_energy_j += ev.energy_j;
+            RequestOutcome &out = rep.outcomes[ev.job.req.id];
+            if (ev.fate == AttemptFate::Success) {
+                disp.onSuccess(ev.device);
+                ++stats.completed;
+                ++rep.completed;
+                const double latency = now - ev.job.req.arrival_ms;
+                latencies.push_back(latency);
+                out.status = RequestStatus::Completed;
+                out.device = static_cast<int>(ev.device);
+                out.dispatch_ms = ev.dispatch_t;
+                out.finish_ms = now;
+                out.attempts = ev.job.attempts;
+                out.level = ev.level;
+                out.retention = slots_[ev.device].retention[ev.level];
+                out.deadline_missed = now > ev.job.req.deadline_ms;
+                if (out.deadline_missed)
+                    ++rep.deadline_misses;
+                ++rep.completed_by_level[ev.level];
+                retention_sum += out.retention;
+            } else {
+                ++stats.failed_attempts;
+                if (ev.fate == AttemptFate::Transient)
+                    ++rep.transient_errors;
+                else
+                    ++rep.timeouts;
+                if (disp.onFailure(ev.device, now)) {
+                    ++rep.breaker_trips;
+                    Event probe;
+                    probe.t = disp.breakerOpenUntil(ev.device);
+                    probe.type = EventType::Probe;
+                    push(std::move(probe));
+                }
+                if (ev.job.attempts <= policy_.max_retries) {
+                    ++rep.retries;
+                    Event retry;
+                    retry.t = now + disp.backoffMs(ev.job.attempts);
+                    retry.type = EventType::Retry;
+                    retry.job = ev.job;
+                    push(std::move(retry));
+                } else {
+                    out.status = RequestStatus::Failed;
+                    out.device = static_cast<int>(ev.device);
+                    out.finish_ms = now;
+                    out.attempts = ev.job.attempts;
+                    ++rep.failed;
+                }
+            }
+            dispatchLoop(now);
+            break;
+          }
+        }
+    }
+
+    // Requests still queued when the event heap drained can never be
+    // served (all remaining capacity is gone): account them as shed so
+    // every admitted request has a terminal state.
+    while (disp.queueDepth() > 0) {
+        const QueuedJob job = disp.pop();
+        RequestOutcome &out = rep.outcomes[job.req.id];
+        out.status = RequestStatus::ShedStarved;
+        out.finish_ms = horizon;
+        out.attempts = job.attempts;
+        ++rep.shed_starved;
+    }
+    for (size_t a = 0; a < n; ++a) {
+        if (dev[a].down_since >= 0.0)
+            rep.devices[a].down_intervals.push_back(
+                {dev[a].down_since, std::max(horizon,
+                                             dev[a].down_since)});
+        rep.devices[a].breaker_trips = disp.breakerTrips(a);
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    rep.p50_ms = percentileSorted(latencies, 0.50);
+    rep.p95_ms = percentileSorted(latencies, 0.95);
+    rep.p99_ms = percentileSorted(latencies, 0.99);
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (double l : latencies)
+            sum += l;
+        rep.mean_latency_ms =
+            sum / static_cast<double>(latencies.size());
+        rep.max_latency_ms = latencies.back();
+    }
+    rep.deadline_miss_rate =
+        rep.completed > 0 ? static_cast<double>(rep.deadline_misses) /
+                                static_cast<double>(rep.completed)
+                          : 0.0;
+    rep.horizon_ms = horizon;
+    rep.goodput_seq_s =
+        horizon > 0.0
+            ? static_cast<double>(rep.completed - rep.deadline_misses) /
+                  (horizon * 1e-3)
+            : 0.0;
+    rep.mean_retention =
+        rep.completed > 0
+            ? retention_sum / static_cast<double>(rep.completed)
+            : 0.0;
+    return rep;
+}
+
+} // namespace dota

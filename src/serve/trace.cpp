@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Arrival-trace generators for the serving simulator.
+ */
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace dota {
+
+std::string
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson:
+        return "poisson";
+      case ArrivalProcess::Burst:
+        return "burst";
+      case ArrivalProcess::Diurnal:
+        return "diurnal";
+    }
+    DOTA_PANIC("unknown arrival process");
+}
+
+double
+RequestTrace::horizonMs() const
+{
+    return requests.empty() ? 0.0 : requests.back().arrival_ms;
+}
+
+std::vector<size_t>
+RequestTrace::distinctLengths() const
+{
+    std::vector<size_t> lens;
+    lens.reserve(requests.size());
+    for (const Request &r : requests)
+        lens.push_back(r.seq_len);
+    std::sort(lens.begin(), lens.end());
+    lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+    return lens;
+}
+
+namespace {
+
+/**
+ * Instantaneous arrival rate of @p cfg at virtual time @p t_s seconds.
+ * Poisson is flat; Burst is a square wave; Diurnal a (clamped) sine.
+ */
+double
+rateAt(const TraceConfig &cfg, double t_s)
+{
+    switch (cfg.process) {
+      case ArrivalProcess::Poisson:
+        return cfg.rate_per_s;
+      case ArrivalProcess::Burst: {
+        const double phase = std::fmod(t_s, cfg.burst_every_s);
+        return phase < cfg.burst_len_s
+                   ? cfg.rate_per_s * cfg.burst_multiplier
+                   : cfg.rate_per_s;
+      }
+      case ArrivalProcess::Diurnal: {
+        const double s =
+            std::sin(2.0 * M_PI * t_s / cfg.diurnal_period_s);
+        // Keep at least 5% of the base rate so interarrivals stay finite.
+        return cfg.rate_per_s *
+               std::max(0.05, 1.0 + cfg.diurnal_amplitude * s);
+      }
+    }
+    DOTA_PANIC("unknown arrival process");
+}
+
+/** Heavy-tailed request length (serving_fleet's request-mix shape). */
+size_t
+drawLength(const TraceConfig &cfg, Rng &rng)
+{
+    const double u = rng.uniform();
+    const double lo = static_cast<double>(cfg.len_min);
+    const double hi = static_cast<double>(cfg.len_max);
+    const double len =
+        lo * std::pow(hi / lo, std::pow(u, cfg.len_shape));
+    const size_t round = std::max<size_t>(1, cfg.len_round);
+    const size_t q =
+        ((static_cast<size_t>(len) + round - 1) / round) * round;
+    return std::clamp(q, cfg.len_min, cfg.len_max);
+}
+
+} // namespace
+
+RequestTrace
+generateTrace(const TraceConfig &cfg)
+{
+    DOTA_ASSERT(cfg.rate_per_s > 0.0, "arrival rate must be positive");
+    DOTA_ASSERT(cfg.len_min >= 1 && cfg.len_min <= cfg.len_max,
+                "request length bounds must satisfy 1 <= min <= max");
+    RequestTrace trace;
+    trace.config = cfg;
+    trace.requests.reserve(cfg.requests);
+    Rng rng(cfg.seed);
+    double t_s = 0.0;
+    for (size_t i = 0; i < cfg.requests; ++i) {
+        // Exponential interarrival at the instantaneous rate. For the
+        // non-homogeneous processes this is a piecewise approximation
+        // (the rate is sampled at the previous arrival), which keeps
+        // generation one-pass and exactly seed-deterministic.
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u >= 1.0 - 1e-12); // -log(1-u) must stay finite
+        t_s += -std::log(1.0 - u) / rateAt(cfg, t_s);
+        Request req;
+        req.id = i;
+        req.arrival_ms = t_s * 1e3;
+        req.seq_len = drawLength(cfg, rng);
+        req.deadline_ms =
+            cfg.deadline_ms > 0.0
+                ? req.arrival_ms + cfg.deadline_ms
+                : std::numeric_limits<double>::infinity();
+        trace.requests.push_back(req);
+    }
+    return trace;
+}
+
+} // namespace dota

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Seeded arrival-trace generation for the online serving simulator.
+ *
+ * A RequestTrace is the input side of a serving experiment: a sequence
+ * of timestamped inference requests (sequence length + optional
+ * deadline) drawn from a stochastic arrival process. Three processes are
+ * provided — Poisson (memoryless steady load), Burst (periodic load
+ * spikes on a steady base), and Diurnal (sinusoidal rate modulation, a
+ * compressed day/night cycle) — all generated from one explicit seed
+ * through common/rng.hpp, so a trace is a pure function of its
+ * TraceConfig and every chaos experiment is replayable bit-for-bit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dota {
+
+/** Arrival process shapes for generateTrace(). */
+enum class ArrivalProcess { Poisson, Burst, Diurnal };
+
+/** Display name, e.g. "poisson". */
+std::string arrivalProcessName(ArrivalProcess process);
+
+/** One inference request of the trace. */
+struct Request
+{
+    size_t id = 0;           ///< dense index, also the tie-break key
+    double arrival_ms = 0.0; ///< virtual arrival time
+    size_t seq_len = 0;      ///< tokens to serve
+    /** Absolute completion deadline; infinity when the trace has none. */
+    double deadline_ms = 0.0;
+};
+
+/** Knobs of the arrival generator. */
+struct TraceConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double rate_per_s = 100.0; ///< mean arrival rate (requests/second)
+    size_t requests = 128;
+    uint64_t seed = 1;         ///< arrival seed (lengths + interarrivals)
+
+    // Request lengths: heavy-tailed between len_min and len_max (the
+    // serving_fleet request-mix shape), rounded up to len_round tokens.
+    size_t len_min = 256;
+    size_t len_max = 4096;
+    size_t len_round = 128;
+    double len_shape = 2.0; ///< tail exponent; higher = more short reqs
+
+    /** Relative deadline per request; 0 disables deadlines. */
+    double deadline_ms = 0.0;
+
+    // Burst process: every burst_every_s seconds the rate jumps to
+    // rate_per_s * burst_multiplier for burst_len_s seconds.
+    double burst_every_s = 1.0;
+    double burst_len_s = 0.25;
+    double burst_multiplier = 4.0;
+
+    // Diurnal process: rate(t) = rate_per_s * (1 + amplitude *
+    // sin(2*pi*t / period_s)), clamped away from zero.
+    double diurnal_period_s = 4.0;
+    double diurnal_amplitude = 0.8;
+};
+
+/** A generated arrival trace (requests sorted by arrival time). */
+struct RequestTrace
+{
+    TraceConfig config;
+    std::vector<Request> requests;
+
+    /** Arrival time of the last request (0 for an empty trace). */
+    double horizonMs() const;
+
+    /** Distinct sequence lengths, sorted (for cost-cache warming). */
+    std::vector<size_t> distinctLengths() const;
+};
+
+/** Generate the trace described by @p cfg (deterministic in cfg). */
+RequestTrace generateTrace(const TraceConfig &cfg);
+
+} // namespace dota

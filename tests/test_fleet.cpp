@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "device/fleet.hpp"
 
 namespace dota {
@@ -88,6 +90,48 @@ TEST(Fleet, EmptyBatch)
     const FleetReport r = makeFleet(3).run({});
     EXPECT_DOUBLE_EQ(r.makespan_ms, 0.0);
     EXPECT_DOUBLE_EQ(r.throughput_seq_s, 0.0);
+}
+
+/** Device whose every simulation costs exactly nothing. */
+class ZeroCostDevice : public Device
+{
+  public:
+    RunReport
+    simulate(const Benchmark &bench) const override
+    {
+        RunReport r;
+        r.device = name();
+        r.benchmark = bench.name;
+        return r; // zero cycles, zero layers, zero energy
+    }
+    std::string name() const override { return "ZERO"; }
+    double peakTopS() const override { return 1.0; }
+    std::unique_ptr<Device>
+    clone() const override
+    {
+        return std::make_unique<ZeroCostDevice>();
+    }
+};
+
+TEST(Fleet, ZeroMakespanReportsZeroNotInf)
+{
+    // A batch whose every job has zero service time used to divide by
+    // makespan == 0 and report inf/NaN utilization, throughput, and
+    // energy/seq.
+    std::vector<std::unique_ptr<Device>> devices;
+    devices.push_back(std::make_unique<ZeroCostDevice>());
+    devices.push_back(std::make_unique<ZeroCostDevice>());
+    FleetSimulator fleet(std::move(devices),
+                         benchmark(BenchmarkId::Text));
+    const FleetReport r = fleet.run({512, 1024, 2048});
+    EXPECT_DOUBLE_EQ(r.makespan_ms, 0.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+    EXPECT_DOUBLE_EQ(r.throughput_seq_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.energy_per_seq_j, 0.0);
+    EXPECT_TRUE(std::isfinite(r.utilization));
+    EXPECT_TRUE(std::isfinite(r.throughput_seq_s));
+    EXPECT_TRUE(std::isfinite(r.energy_per_seq_j));
+    EXPECT_EQ(r.latency.count(), 3u);
 }
 
 TEST(Fleet, ReportInternallyConsistent)

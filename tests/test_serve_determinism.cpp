@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Determinism contract for the online serving simulator: the same
+ * (arrival seed, fault seed) pair must produce a bit-identical
+ * ServeReport at DOTA_THREADS=1 and DOTA_THREADS=8 — the event loop is
+ * serial and only the cost-cache warmup is parallel, so every scalar,
+ * every per-request outcome and every device health timeline must match
+ * exactly.
+ */
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "serve/simulator.hpp"
+
+namespace dota {
+namespace {
+
+/** Pin the global pool to @p n threads for one scope. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(size_t n)
+        : prev_(ThreadPool::globalConcurrency())
+    {
+        ThreadPool::setGlobalConcurrency(n);
+    }
+    ~ScopedThreads() { ThreadPool::setGlobalConcurrency(prev_); }
+
+  private:
+    size_t prev_;
+};
+
+/** Run @p fn at 1 thread and at 8 threads; return both results. */
+template <typename Fn>
+auto
+atBothThreadCounts(Fn fn)
+{
+    ScopedThreads serial(1);
+    auto a = fn();
+    ScopedThreads parallel(8);
+    auto b = fn();
+    return std::make_pair(std::move(a), std::move(b));
+}
+
+/** Exact (bitwise, via ==) equality of two full serve reports. */
+void
+expectIdentical(const ServeReport &a, const ServeReport &b)
+{
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
+    EXPECT_EQ(a.shed_expired, b.shed_expired);
+    EXPECT_EQ(a.shed_starved, b.shed_starved);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.transient_errors, b.transient_errors);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.breaker_trips, b.breaker_trips);
+    EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+    // Floating-point fields compared with ==: bit-identical, not close.
+    EXPECT_EQ(a.p50_ms, b.p50_ms);
+    EXPECT_EQ(a.p95_ms, b.p95_ms);
+    EXPECT_EQ(a.p99_ms, b.p99_ms);
+    EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+    EXPECT_EQ(a.max_latency_ms, b.max_latency_ms);
+    EXPECT_EQ(a.deadline_miss_rate, b.deadline_miss_rate);
+    EXPECT_EQ(a.goodput_seq_s, b.goodput_seq_s);
+    EXPECT_EQ(a.horizon_ms, b.horizon_ms);
+    EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+    EXPECT_EQ(a.mean_retention, b.mean_retention);
+    EXPECT_EQ(a.completed_by_level, b.completed_by_level);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+        const RequestOutcome &x = a.outcomes[i];
+        const RequestOutcome &y = b.outcomes[i];
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.status, y.status);
+        EXPECT_EQ(x.device, y.device);
+        EXPECT_EQ(x.dispatch_ms, y.dispatch_ms);
+        EXPECT_EQ(x.finish_ms, y.finish_ms);
+        EXPECT_EQ(x.attempts, y.attempts);
+        EXPECT_EQ(x.level, y.level);
+        EXPECT_EQ(x.retention, y.retention);
+        EXPECT_EQ(x.deadline_missed, y.deadline_missed);
+    }
+    ASSERT_EQ(a.devices.size(), b.devices.size());
+    for (size_t d = 0; d < a.devices.size(); ++d) {
+        EXPECT_EQ(a.devices[d].name, b.devices[d].name);
+        EXPECT_EQ(a.devices[d].busy_ms, b.devices[d].busy_ms);
+        EXPECT_EQ(a.devices[d].completed, b.devices[d].completed);
+        EXPECT_EQ(a.devices[d].failed_attempts,
+                  b.devices[d].failed_attempts);
+        EXPECT_EQ(a.devices[d].breaker_trips,
+                  b.devices[d].breaker_trips);
+        EXPECT_EQ(a.devices[d].down_intervals,
+                  b.devices[d].down_intervals);
+    }
+}
+
+ServeReport
+chaosRun(uint64_t arrival_seed, uint64_t fault_seed)
+{
+    TraceConfig tc;
+    tc.rate_per_s = 500.0;
+    tc.requests = 160;
+    tc.seed = arrival_seed;
+    tc.deadline_ms = 130.0;
+    tc.len_min = 256;
+    tc.len_max = 2048;
+    ServeConfig sc;
+    sc.accelerators = 6;
+    sc.mode = DotaMode::Full;
+    sc.policy.timeout_ms = 70.0;
+    sc.policy.max_retries = 3;
+    sc.policy.queue_limit = 48;
+    sc.policy.degrade_depth_1 = 2.0;
+    sc.policy.degrade_depth_2 = 4.0;
+    ServingSimulator sim(sc, benchmark(BenchmarkId::Text));
+    const FaultPlan plan = parseFaultPlan(
+        "kill:0@50,kill:1@80,revive:0@250,slow:2@40-200x6,"
+        "transient:0.05,mtbf:4000x200");
+    return sim.run(generateTrace(tc), plan, fault_seed);
+}
+
+TEST(ServeDeterminism, ChaosReportBitIdenticalAt1And8Threads)
+{
+    auto [serial, parallel] =
+        atBothThreadCounts([] { return chaosRun(42, 7); });
+    expectIdentical(serial, parallel);
+    // The chaos scenario actually exercises the robustness machinery —
+    // otherwise the bit-identity claim is vacuous.
+    EXPECT_GT(serial.retries + serial.failovers, 0u);
+    EXPECT_GT(serial.completed, 0u);
+    EXPECT_EQ(serial.completed + serial.shed() + serial.failed,
+              serial.requests);
+}
+
+TEST(ServeDeterminism, SameSeedsSameReportAcrossRuns)
+{
+    ScopedThreads parallel(8);
+    const ServeReport a = chaosRun(9, 17);
+    const ServeReport b = chaosRun(9, 17);
+    expectIdentical(a, b);
+}
+
+TEST(ServeDeterminism, SeedsActuallyMatter)
+{
+    ScopedThreads parallel(8);
+    const ServeReport base = chaosRun(9, 17);
+    const ServeReport other_arrivals = chaosRun(10, 17);
+    const ServeReport other_faults = chaosRun(9, 18);
+    EXPECT_NE(base.mean_latency_ms, other_arrivals.mean_latency_ms);
+    // A different fault seed reshuffles the MTBF schedule and transient
+    // draws; some observable statistic must move.
+    const bool differs =
+        base.mean_latency_ms != other_faults.mean_latency_ms ||
+        base.retries != other_faults.retries ||
+        base.completed != other_faults.completed ||
+        base.total_energy_j != other_faults.total_energy_j;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ServeDeterminism, HealthyRunBitIdenticalAt1And8Threads)
+{
+    auto [serial, parallel] = atBothThreadCounts([] {
+        TraceConfig tc;
+        tc.rate_per_s = 300.0;
+        tc.requests = 100;
+        tc.seed = 3;
+        tc.len_max = 1024; // few distinct lengths: fast serial warmup
+        ServeConfig sc;
+        sc.accelerators = 4;
+        ServingSimulator sim(sc, benchmark(BenchmarkId::Text));
+        return sim.run(generateTrace(tc));
+    });
+    expectIdentical(serial, parallel);
+    EXPECT_EQ(serial.completed, serial.requests);
+}
+
+} // namespace
+} // namespace dota
