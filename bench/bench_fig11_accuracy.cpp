@@ -20,38 +20,9 @@ using namespace dota;
 
 namespace {
 
-TaskConfig
-taskFor(const Benchmark &b)
-{
-    TaskConfig tc;
-    tc.in_dim = b.tiny.in_dim;
-    tc.classes = b.tiny.classes;
-    tc.seq_len = 64;
-    tc.signal_count = 6;
-    // Keep L_model bounded away from zero at convergence (like real
-    // data) and the signal non-trivial to detect.
-    tc.label_noise = 0.1;
-    tc.signal_strength = 2.0;
-    tc.seed = 100 + static_cast<uint64_t>(b.id);
-    switch (b.id) {
-      case BenchmarkId::QA:
-        tc.locality = 0.2;
-        break;
-      case BenchmarkId::Image:
-        tc.locality = 1.0; // pixel neighbourhoods
-        break;
-      case BenchmarkId::Text:
-        tc.locality = 0.5;
-        break;
-      case BenchmarkId::Retrieval:
-        tc.kind = TaskKind::Match; // cross-document matching
-        tc.locality = 0.3;
-        break;
-      case BenchmarkId::LM:
-        break; // handled by the grammar path
-    }
-    return tc;
-}
+// Proxy task construction lives in workloads/benchmark.cpp
+// (proxyTaskFor / proxyGrammarFor) so the CLI trainer and this
+// reproduction share one definition.
 
 PipelineConfig
 pipelineBudget()
@@ -81,7 +52,7 @@ detectorFor(const Benchmark &b, double retention)
 void
 runClassificationBenchmark(const Benchmark &b)
 {
-    const SyntheticTask task(taskFor(b));
+    const SyntheticTask task(proxyTaskFor(b));
     const size_t eval_n = bench::fastMode() ? 40 : 150;
     const std::vector<double> retentions{0.10, 0.05, 0.025};
 
@@ -162,10 +133,7 @@ runClassificationBenchmark(const Benchmark &b)
 void
 runLmBenchmark(const Benchmark &b)
 {
-    GrammarConfig gc;
-    gc.seq_len = 96;
-    gc.vocab = b.tiny.vocab;
-    SyntheticGrammar grammar(gc);
+    SyntheticGrammar grammar(proxyGrammarFor(b));
     const size_t eval_n = bench::fastMode() ? 10 : 40;
     const std::vector<double> retentions{0.25, 0.10};
 
@@ -221,7 +189,7 @@ runAblations()
 {
     printBanner(std::cout, "Ablations (Text task, retention 10%)");
     const Benchmark &b = benchmark(BenchmarkId::Text);
-    const SyntheticTask task(taskFor(b));
+    const SyntheticTask task(proxyTaskFor(b));
     const size_t eval_n = bench::fastMode() ? 40 : 150;
     PipelineConfig pc = pipelineBudget();
 

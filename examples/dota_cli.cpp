@@ -19,6 +19,14 @@
  *            [--fault-plan SPEC] [--timeout-ms T] [--retries R]
  *            [--deadline-ms D] [--queue-limit N]
  *
+ * Crash-safe training mode (src/train/): train a benchmark's tiny proxy
+ * model with atomic checksummed checkpoints; kill it at any step and
+ * rerun with --resume to continue bit-identically:
+ *   dota_cli --train [--benchmark B] [--steps N] [--batch N]
+ *            [--train-seed S] [--checkpoint-dir D]
+ *            [--checkpoint-every N] [--keep-last N] [--resume]
+ *            [--kill-at-step K]
+ *
  * Device keys come from DeviceRegistry (`--device list` prints them);
  * the legacy aliases "dota" (mode picked by --mode) and "gpu" are still
  * accepted.
@@ -31,6 +39,8 @@
  *   dota_cli --serve --arrival-rate 400 --requests 200 \
  *            --fault-plan "kill:0@100,revive:0@400,transient:0.02"
  */
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/strutil.hpp"
@@ -58,6 +68,13 @@ struct CliOptions
     std::string fault_plan;
     uint64_t fault_seed = 1;
     ServePolicy policy;
+    // --train mode
+    bool train = false;
+    size_t train_steps = 40;
+    size_t train_batch = 4;
+    uint64_t train_seed = 123;
+    CheckpointConfig checkpoint;
+    long kill_at_step = -1; ///< std::_Exit mid-step K when >= 0
 };
 
 [[noreturn]] void
@@ -78,6 +95,11 @@ usage()
         "                [--fault-plan SPEC] [--timeout-ms T]\n"
         "                [--retries R] [--deadline-ms D] "
         "[--queue-limit N]\n"
+        "       dota_cli --train [--benchmark B] [--steps N] "
+        "[--batch N]\n"
+        "                [--train-seed S] [--checkpoint-dir D]\n"
+        "                [--checkpoint-every N] [--keep-last N]\n"
+        "                [--resume] [--kill-at-step K]\n"
         "device keys: " << join(DeviceRegistry::keys(), ", ")
               << " (plus aliases dota, gpu)\n";
     std::exit(2);
@@ -175,6 +197,24 @@ parse(int argc, char **argv)
             opt.arrivals.deadline_ms = std::stod(need(i));
         } else if (arg == "--queue-limit") {
             opt.policy.queue_limit = std::stoul(need(i));
+        } else if (arg == "--train") {
+            opt.train = true;
+        } else if (arg == "--steps") {
+            opt.train_steps = std::stoul(need(i));
+        } else if (arg == "--batch") {
+            opt.train_batch = std::stoul(need(i));
+        } else if (arg == "--train-seed") {
+            opt.train_seed = std::stoull(need(i));
+        } else if (arg == "--checkpoint-dir") {
+            opt.checkpoint.dir = need(i);
+        } else if (arg == "--checkpoint-every") {
+            opt.checkpoint.every = std::stoul(need(i));
+        } else if (arg == "--keep-last") {
+            opt.checkpoint.keep_last = std::stoul(need(i));
+        } else if (arg == "--resume") {
+            opt.checkpoint.resume = true;
+        } else if (arg == "--kill-at-step") {
+            opt.kill_at_step = std::stol(need(i));
         } else if (arg == "--generation") {
             opt.generation = true;
         } else if (arg == "--trace") {
@@ -233,9 +273,16 @@ runServe(const CliOptions &opt)
     sc.devices = {spec};
     sc.policy = opt.policy;
     const RequestTrace trace = generateTrace(opt.arrivals);
-    const FaultPlan plan = opt.fault_plan.empty()
-                               ? FaultPlan{}
-                               : parseFaultPlan(opt.fault_plan);
+    FaultPlan plan;
+    if (!opt.fault_plan.empty()) {
+        const FaultPlanParse parsed = tryParseFaultPlan(opt.fault_plan);
+        if (!parsed.ok) {
+            std::cerr << "error: " << parsed.error << "\n\n"
+                      << faultPlanGrammar() << "\n";
+            std::exit(2);
+        }
+        plan = parsed.plan;
+    }
     ServingSimulator sim(sc, bench);
     std::cout << "serving " << trace.requests.size() << " "
               << bench.name << " requests ("
@@ -247,6 +294,66 @@ runServe(const CliOptions &opt)
               << " (fault seed " << opt.fault_seed << ")\n\n";
     const ServeReport rep = sim.run(trace, plan, opt.fault_seed);
     rep.print(std::cout);
+    return 0;
+}
+
+/**
+ * --train: crash-safe training of the benchmark's tiny proxy model.
+ * The final loss is printed as a hex float (%a) so two runs can be
+ * diffed bit-for-bit — the CI smoke kills a run mid-step, resumes it
+ * and compares against an uninterrupted run.
+ */
+int
+runTrain(const CliOptions &opt)
+{
+    const Benchmark &bench = benchmarkByName(opt.benchmark);
+    TrainConfig tc;
+    tc.steps = opt.train_steps;
+    tc.batch = opt.train_batch;
+    tc.data_seed = opt.train_seed;
+    tc.checkpoint = opt.checkpoint;
+    if (!tc.checkpoint.dir.empty() && tc.checkpoint.every == 0)
+        tc.checkpoint.every = 10;
+
+    // The hard kill fires mid-step K (after the gradient reduction,
+    // before the optimizer update) — the worst place to die, since the
+    // step's checkpoint has not been written yet.
+    auto kill = [&](size_t step, const std::vector<Parameter *> &) {
+        if (opt.kill_at_step >= 0 &&
+            step == static_cast<size_t>(opt.kill_at_step)) {
+            std::cerr << "simulated crash: killing the process mid-step "
+                      << step << "\n";
+            std::_Exit(42);
+        }
+    };
+
+    double final_loss = 0.0;
+    size_t trained_steps = 0;
+    if (bench.id == BenchmarkId::LM) {
+        TransformerConfig cfg = bench.tiny;
+        cfg.max_seq = 128;
+        CausalLM model(cfg);
+        const SyntheticGrammar grammar(proxyGrammarFor(bench));
+        LMTrainer trainer(model, grammar, tc);
+        if (opt.kill_at_step >= 0)
+            trainer.setGradCallback(kill);
+        final_loss = trainer.train();
+        trained_steps = trainer.lossHistory().size();
+    } else {
+        TransformerClassifier model(bench.tiny);
+        const SyntheticTask task(proxyTaskFor(bench));
+        ClassifierTrainer trainer(model, task, tc);
+        if (opt.kill_at_step >= 0)
+            trainer.setGradCallback(kill);
+        final_loss = trainer.train();
+        trained_steps = trainer.lossHistory().size();
+    }
+    char hex[64];
+    std::snprintf(hex, sizeof(hex), "%a", final_loss);
+    std::cout << "trained " << bench.name << " for " << trained_steps
+              << "/" << tc.steps << " steps (batch " << tc.batch
+              << ", seed " << tc.data_seed << ")\n"
+              << "final loss " << hex << " (" << final_loss << ")\n";
     return 0;
 }
 
@@ -286,6 +393,8 @@ main(int argc, char **argv)
     }
     if (opt.serve)
         return runServe(opt);
+    if (opt.train)
+        return runTrain(opt);
     const Benchmark &bench = benchmarkByName(opt.benchmark);
     const std::string key = deviceKey(opt);
 

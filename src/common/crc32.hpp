@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+ * integrity checking.
+ *
+ * Every checkpoint record and the whole-file footer carry a CRC so a
+ * bit-flip, truncation or torn write is *detected* instead of silently
+ * loading scrambled weights (see DESIGN.md §10). The implementation is
+ * the classic byte-at-a-time table walk — integrity checking is far off
+ * the training hot path, so clarity wins over slicing tricks.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dota {
+
+/**
+ * CRC32 of @p len bytes at @p data, continuing from @p seed (pass the
+ * previous return value to checksum a stream incrementally; the default
+ * 0 starts a fresh checksum).
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/** Convenience overload for strings/byte buffers. */
+inline uint32_t
+crc32(std::string_view bytes, uint32_t seed = 0)
+{
+    return crc32(bytes.data(), bytes.size(), seed);
+}
+
+} // namespace dota

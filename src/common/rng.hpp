@@ -15,6 +15,19 @@
 
 namespace dota {
 
+/**
+ * Complete serializable state of an Rng: the four xoshiro words plus the
+ * Box-Muller cache. Capturing and restoring this mid-stream reproduces
+ * the exact draw sequence — the foundation of bit-identical
+ * checkpoint/resume (train/checkpoint.hpp).
+ */
+struct RngState
+{
+    uint64_t s[4] = {};
+    double cached = 0.0;
+    bool has_cached = false;
+};
+
 /** Deterministic random number generator (xoshiro256**). */
 class Rng
 {
@@ -147,6 +160,28 @@ class Rng
     fork()
     {
         return Rng(next());
+    }
+
+    /** Snapshot the full generator state (for checkpointing). */
+    RngState
+    getState() const
+    {
+        RngState st;
+        for (int i = 0; i < 4; ++i)
+            st.s[i] = state_[i];
+        st.cached = cached_;
+        st.has_cached = has_cached_;
+        return st;
+    }
+
+    /** Restore a snapshot taken by getState(). */
+    void
+    setState(const RngState &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = st.s[i];
+        cached_ = st.cached;
+        has_cached_ = st.has_cached;
     }
 
   private:

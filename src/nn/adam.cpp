@@ -31,7 +31,9 @@ Adam::step()
                        p->grad.data()[i];
     last_grad_norm_ = std::sqrt(norm_sq);
     double scale = 1.0;
-    if (cfg_.clip_norm > 0.0 && last_grad_norm_ > cfg_.clip_norm)
+    last_step_clipped_ =
+        cfg_.clip_norm > 0.0 && last_grad_norm_ > cfg_.clip_norm;
+    if (last_step_clipped_)
         scale = cfg_.clip_norm / (last_grad_norm_ + 1e-12);
 
     const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
@@ -57,6 +59,24 @@ Adam::step()
             val[i] -= static_cast<float>(update);
         }
     }
+}
+
+void
+Adam::setState(std::vector<Matrix> m, std::vector<Matrix> v, uint64_t t)
+{
+    DOTA_ASSERT(m.size() == params_.size() && v.size() == params_.size(),
+                "Adam state has {}/{} moment tensors for {} parameters",
+                m.size(), v.size(), params_.size());
+    for (size_t i = 0; i < params_.size(); ++i)
+        DOTA_ASSERT(m[i].rows() == params_[i]->value.rows() &&
+                        m[i].cols() == params_[i]->value.cols() &&
+                        v[i].rows() == params_[i]->value.rows() &&
+                        v[i].cols() == params_[i]->value.cols(),
+                    "Adam moment shape mismatch for parameter '{}'",
+                    params_[i]->name);
+    m_ = std::move(m);
+    v_ = std::move(v);
+    t_ = t;
 }
 
 void

@@ -36,7 +36,29 @@ class Adam
     /** Global gradient L2 norm before clipping (of the last step). */
     double lastGradNorm() const { return last_grad_norm_; }
 
+    /** True when the last step() clipped the gradient. */
+    bool lastStepClipped() const { return last_step_clipped_; }
+
     AdamConfig &config() { return cfg_; }
+
+    // --- optimizer-state access for checkpointing (train/checkpoint) ---
+
+    /** First-moment estimates, one Matrix per registered parameter. */
+    const std::vector<Matrix> &firstMoments() const { return m_; }
+
+    /** Second-moment estimates, one Matrix per registered parameter. */
+    const std::vector<Matrix> &secondMoments() const { return v_; }
+
+    /** Number of step() calls applied so far (bias-correction clock). */
+    uint64_t stepCount() const { return t_; }
+
+    /**
+     * Restore optimizer state captured from an identically-shaped Adam.
+     * Shapes of @p m / @p v must match the registered parameters;
+     * panics otherwise (the checkpoint layer validates first).
+     */
+    void setState(std::vector<Matrix> m, std::vector<Matrix> v,
+                  uint64_t t);
 
   private:
     std::vector<Parameter *> params_;
@@ -45,6 +67,7 @@ class Adam
     AdamConfig cfg_;
     uint64_t t_ = 0;
     double last_grad_norm_ = 0.0;
+    bool last_step_clipped_ = false;
 };
 
 } // namespace dota

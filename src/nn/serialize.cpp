@@ -1,131 +1,208 @@
 /**
  * @file
- * Implementation of parameter checkpointing.
+ * Implementation of parameter checkpointing (record-file format v2).
  */
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 
+#include "common/fileio.hpp"
 #include "common/logging.hpp"
+#include "common/recordfile.hpp"
 
 namespace dota {
 
 namespace {
 
-constexpr char kMagic[4] = {'D', 'O', 'T', 'A'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kModelKind = recordKind('M', 'O', 'D', 'L');
+constexpr uint32_t kSchemaVersion = 2;
 
 void
-writeU64(std::ofstream &os, uint64_t v)
+setError(std::string *error, std::string msg)
 {
-    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    if (error)
+        *error = std::move(msg);
 }
 
-uint64_t
-readU64(std::ifstream &is)
+LoadStatus
+fromRecordStatus(RecordFileStatus status)
 {
-    uint64_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return v;
-}
-
-void
-writeString(std::ofstream &os, const std::string &s)
-{
-    writeU64(os, s.size());
-    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    switch (status) {
+      case RecordFileStatus::Ok:
+        return LoadStatus::Ok;
+      case RecordFileStatus::IoError:
+        return LoadStatus::IoError;
+      case RecordFileStatus::BadMagic:
+        return LoadStatus::NotACheckpoint;
+      case RecordFileStatus::BadVersion:
+        return LoadStatus::BadVersion;
+      case RecordFileStatus::Truncated:
+        return LoadStatus::Truncated;
+      case RecordFileStatus::Corrupt:
+        return LoadStatus::Corrupt;
+    }
+    DOTA_PANIC("unknown record file status");
 }
 
 std::string
-readString(std::ifstream &is)
+shapeStr(size_t rows, size_t cols)
 {
-    const uint64_t len = readU64(is);
-    DOTA_ASSERT(len < (1u << 20), "implausible string length {}", len);
-    std::string s(len, '\0');
-    is.read(s.data(), static_cast<std::streamsize>(len));
-    return s;
+    return format("{}x{}", rows, cols);
 }
 
 } // namespace
 
+std::string
+loadStatusName(LoadStatus status)
+{
+    switch (status) {
+      case LoadStatus::Ok:
+        return "ok";
+      case LoadStatus::IoError:
+        return "io-error";
+      case LoadStatus::NotACheckpoint:
+        return "not-a-checkpoint";
+      case LoadStatus::BadVersion:
+        return "bad-version";
+      case LoadStatus::Truncated:
+        return "truncated";
+      case LoadStatus::Corrupt:
+        return "corrupt";
+      case LoadStatus::ArchMismatch:
+        return "arch-mismatch";
+    }
+    DOTA_PANIC("unknown load status");
+}
+
+std::string
+encodeMatrix(const Matrix &m)
+{
+    std::string payload;
+    payload.reserve(16 + m.size() * sizeof(float));
+    const uint64_t rows = m.rows(), cols = m.cols();
+    payload.append(reinterpret_cast<const char *>(&rows), 8);
+    payload.append(reinterpret_cast<const char *>(&cols), 8);
+    payload.append(reinterpret_cast<const char *>(m.data()),
+                   m.size() * sizeof(float));
+    return payload;
+}
+
+bool
+decodeMatrix(const std::string &payload, Matrix &out)
+{
+    if (payload.size() < 16)
+        return false;
+    uint64_t rows = 0, cols = 0;
+    std::memcpy(&rows, payload.data(), 8);
+    std::memcpy(&cols, payload.data() + 8, 8);
+    // Guard the multiplication: a corrupt header must not allocate TBs.
+    if (rows > (1u << 24) || cols > (1u << 24))
+        return false;
+    const size_t count = static_cast<size_t>(rows * cols);
+    if (payload.size() != 16 + count * sizeof(float))
+        return false;
+    out = Matrix(static_cast<size_t>(rows), static_cast<size_t>(cols));
+    std::memcpy(out.data(), payload.data() + 16, count * sizeof(float));
+    return true;
+}
+
 void
 saveCheckpoint(Module &module, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-        DOTA_FATAL("cannot open '{}' for writing", path);
-
     std::vector<Parameter *> params;
     module.collectParams(params);
 
-    os.write(kMagic, 4);
-    uint32_t version = kVersion;
-    os.write(reinterpret_cast<const char *>(&version), sizeof(version));
-    writeU64(os, params.size());
-    for (Parameter *p : params) {
-        writeString(os, p->name);
-        writeU64(os, p->value.rows());
-        writeU64(os, p->value.cols());
-        os.write(reinterpret_cast<const char *>(p->value.data()),
-                 static_cast<std::streamsize>(p->value.size() *
-                                              sizeof(float)));
+    RecordFileBuilder builder(kModelKind, kSchemaVersion);
+    for (Parameter *p : params)
+        builder.add(p->name, encodeMatrix(p->value));
+
+    std::string error;
+    if (!writeFileAtomic(path, builder.finish(), &error))
+        DOTA_FATAL("saving checkpoint failed: {}", error);
+}
+
+LoadStatus
+tryLoadCheckpoint(Module &module, const std::string &path,
+                  std::string *error)
+{
+    RecordFile file;
+    const RecordFileStatus rs = readRecordFile(path, file, error);
+    if (rs != RecordFileStatus::Ok)
+        return fromRecordStatus(rs);
+    if (file.kind != kModelKind) {
+        setError(error, format("'{}' is a DOTA record file but not a "
+                               "model checkpoint", path));
+        return LoadStatus::NotACheckpoint;
     }
-    if (!os)
-        DOTA_FATAL("write to '{}' failed", path);
+    if (file.schema_version != kSchemaVersion) {
+        setError(error, format("checkpoint schema version {} unsupported "
+                               "(expected {})",
+                               file.schema_version, kSchemaVersion));
+        return LoadStatus::BadVersion;
+    }
+
+    std::vector<Parameter *> params;
+    module.collectParams(params);
+    if (file.records.size() != params.size()) {
+        setError(error,
+                 format("checkpoint has {} parameter records, module "
+                        "expects {}", file.records.size(), params.size()));
+        return LoadStatus::ArchMismatch;
+    }
+
+    // Decode and validate everything before touching the module, so a
+    // mismatch never leaves it half-loaded.
+    std::vector<Matrix> values(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+        const auto &[name, payload] = file.records[i];
+        if (!decodeMatrix(payload, values[i])) {
+            setError(error, format("parameter record '{}' has a "
+                                   "malformed payload", name));
+            return LoadStatus::Corrupt;
+        }
+        const Parameter *p = params[i];
+        if (name != p->name || values[i].rows() != p->value.rows() ||
+            values[i].cols() != p->value.cols()) {
+            setError(error,
+                     format("parameter #{}: checkpoint has '{}' ({}), "
+                            "module expects '{}' ({})",
+                            i, name,
+                            shapeStr(values[i].rows(), values[i].cols()),
+                            p->name,
+                            shapeStr(p->value.rows(), p->value.cols())));
+            return LoadStatus::ArchMismatch;
+        }
+    }
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->value = std::move(values[i]);
+    return LoadStatus::Ok;
 }
 
 void
 loadCheckpoint(Module &module, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        DOTA_FATAL("cannot open '{}' for reading", path);
-
-    char magic[4] = {};
-    is.read(magic, 4);
-    if (std::string(magic, 4) != std::string(kMagic, 4))
-        DOTA_FATAL("'{}' is not a DOTA checkpoint", path);
-    uint32_t version = 0;
-    is.read(reinterpret_cast<char *>(&version), sizeof(version));
-    if (version != kVersion)
-        DOTA_FATAL("checkpoint version {} unsupported (expected {})",
-                   version, kVersion);
-
-    std::vector<Parameter *> params;
-    module.collectParams(params);
-    const uint64_t count = readU64(is);
-    if (count != params.size())
-        DOTA_FATAL("checkpoint has {} parameters, module has {}", count,
-                   params.size());
-    for (Parameter *p : params) {
-        const std::string name = readString(is);
-        if (name != p->name)
-            DOTA_FATAL("checkpoint parameter '{}' does not match module "
-                       "parameter '{}'", name, p->name);
-        const uint64_t rows = readU64(is);
-        const uint64_t cols = readU64(is);
-        if (rows != p->value.rows() || cols != p->value.cols())
-            DOTA_FATAL("shape mismatch for '{}': checkpoint {}x{}, "
-                       "module {}x{}", name, rows, cols, p->value.rows(),
-                       p->value.cols());
-        is.read(reinterpret_cast<char *>(p->value.data()),
-                static_cast<std::streamsize>(p->value.size() *
-                                             sizeof(float)));
-    }
-    if (!is)
-        DOTA_FATAL("read from '{}' failed or truncated", path);
+    std::string error;
+    const LoadStatus status = tryLoadCheckpoint(module, path, &error);
+    if (status != LoadStatus::Ok)
+        DOTA_FATAL("loading checkpoint '{}' failed ({}): {}", path,
+                   loadStatusName(status), error);
 }
 
 bool
 isCheckpoint(const std::string &path)
 {
+    if (!looksLikeRecordFile(path))
+        return false;
     std::ifstream is(path, std::ios::binary);
+    char header[16] = {};
+    is.read(header, sizeof(header));
     if (!is)
         return false;
-    char magic[4] = {};
-    is.read(magic, 4);
-    return is && std::string(magic, 4) == std::string(kMagic, 4);
+    uint32_t kind = 0;
+    std::memcpy(&kind, header + 8, 4);
+    return kind == kModelKind;
 }
 
 } // namespace dota

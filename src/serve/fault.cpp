@@ -31,97 +31,184 @@ faultKindName(FaultKind kind)
 
 namespace {
 
-/** Parse a non-negative double; fatal() with context on junk. */
-double
-parseNum(const std::string &text, const std::string &token)
+/**
+ * Parse a non-negative double into @p out; on junk, set the parse
+ * error and return false.
+ */
+bool
+parseNum(const std::string &text, const std::string &token,
+         FaultPlanParse &res, double &out)
 {
     char *end = nullptr;
     const double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || v < 0.0)
-        DOTA_FATAL("bad number '{}' in fault-plan token '{}'", text,
-                   token);
-    return v;
+    if (end == text.c_str() || *end != '\0' || v < 0.0 ||
+        !std::isfinite(v)) {
+        res.ok = false;
+        res.error = format("bad number '{}' in fault-plan token '{}'",
+                           text, token);
+        return false;
+    }
+    out = v;
+    return true;
 }
 
-size_t
-parseDev(const std::string &text, const std::string &token)
+bool
+parseDev(const std::string &text, const std::string &token,
+         FaultPlanParse &res, size_t &out)
 {
+    if (text.empty()) {
+        res.ok = false;
+        res.error = format("empty device index in fault-plan token "
+                           "'{}'",
+                           token);
+        return false;
+    }
     for (char c : text)
-        if (c < '0' || c > '9')
-            DOTA_FATAL("bad device index '{}' in fault-plan token '{}'",
-                       text, token);
-    return static_cast<size_t>(parseNum(text, token));
+        if (c < '0' || c > '9') {
+            res.ok = false;
+            res.error = format("bad device index '{}' in fault-plan "
+                               "token '{}'",
+                               text, token);
+            return false;
+        }
+    double v = 0.0;
+    if (!parseNum(text, token, res, v))
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
 }
 
 } // namespace
 
-FaultPlan
-parseFaultPlan(const std::string &spec)
+FaultPlanParse
+tryParseFaultPlan(const std::string &spec)
 {
-    FaultPlan plan;
+    FaultPlanParse res;
+    FaultPlan &plan = res.plan;
     for (const std::string &raw : split(spec, ',')) {
         const std::string token = trim(raw);
         if (token.empty())
             continue;
         const size_t colon = token.find(':');
-        if (colon == std::string::npos)
-            DOTA_FATAL("fault-plan token '{}' has no ':' (expected "
-                       "kill/revive/slow/transient/mtbf:<args>)",
-                       token);
+        if (colon == std::string::npos) {
+            res.ok = false;
+            res.error = format("fault-plan token '{}' has no ':' "
+                               "(expected kill/revive/slow/transient/"
+                               "mtbf:<args>)",
+                               token);
+            return res;
+        }
         const std::string verb = toLower(token.substr(0, colon));
         const std::string args = token.substr(colon + 1);
         if (verb == "transient") {
-            plan.transient_prob = parseNum(args, token);
-            if (plan.transient_prob > 1.0)
-                DOTA_FATAL("transient probability {} > 1 in '{}'",
-                           plan.transient_prob, token);
+            if (!parseNum(args, token, res, plan.transient_prob))
+                return res;
+            if (plan.transient_prob > 1.0) {
+                res.ok = false;
+                res.error = format("transient probability {} > 1 in "
+                                   "'{}'",
+                                   plan.transient_prob, token);
+                return res;
+            }
         } else if (verb == "mtbf") {
             const size_t x = args.find('x');
-            if (x == std::string::npos)
-                DOTA_FATAL("mtbf token '{}' needs <mtbf_ms>x<repair_ms>",
-                           token);
-            plan.mtbf_ms = parseNum(args.substr(0, x), token);
-            plan.repair_ms = parseNum(args.substr(x + 1), token);
+            if (x == std::string::npos) {
+                res.ok = false;
+                res.error = format("mtbf token '{}' needs "
+                                   "<mtbf_ms>x<repair_ms>",
+                                   token);
+                return res;
+            }
+            if (!parseNum(args.substr(0, x), token, res,
+                          plan.mtbf_ms) ||
+                !parseNum(args.substr(x + 1), token, res,
+                          plan.repair_ms))
+                return res;
         } else if (verb == "kill" || verb == "revive") {
             const size_t at = args.find('@');
-            if (at == std::string::npos)
-                DOTA_FATAL("{} token '{}' needs <dev>@<ms>", verb,
-                           token);
+            if (at == std::string::npos) {
+                res.ok = false;
+                res.error = format("{} token '{}' needs <dev>@<ms>",
+                                   verb, token);
+                return res;
+            }
             FaultEvent ev;
-            ev.device = parseDev(args.substr(0, at), token);
-            ev.t_ms = parseNum(args.substr(at + 1), token);
+            if (!parseDev(args.substr(0, at), token, res, ev.device) ||
+                !parseNum(args.substr(at + 1), token, res, ev.t_ms))
+                return res;
             ev.kind = verb == "kill" ? FaultKind::Kill
                                      : FaultKind::Revive;
             plan.events.push_back(ev);
         } else if (verb == "slow") {
             const size_t at = args.find('@');
-            const size_t dash = args.find('-', at);
-            const size_t x = args.find('x', dash);
+            const size_t dash =
+                at == std::string::npos ? std::string::npos
+                                        : args.find('-', at);
+            const size_t x = dash == std::string::npos
+                                 ? std::string::npos
+                                 : args.find('x', dash);
             if (at == std::string::npos || dash == std::string::npos ||
-                x == std::string::npos)
-                DOTA_FATAL("slow token '{}' needs "
-                           "<dev>@<t0>-<t1>x<factor>",
-                           token);
-            const size_t dev = parseDev(args.substr(0, at), token);
-            const double t0 =
-                parseNum(args.substr(at + 1, dash - at - 1), token);
-            const double t1 =
-                parseNum(args.substr(dash + 1, x - dash - 1), token);
-            const double factor = parseNum(args.substr(x + 1), token);
-            if (t1 <= t0 || factor < 1.0)
-                DOTA_FATAL("slow token '{}' needs t1 > t0 and factor "
-                           ">= 1",
-                           token);
+                x == std::string::npos) {
+                res.ok = false;
+                res.error = format("slow token '{}' needs "
+                                   "<dev>@<t0>-<t1>x<factor>",
+                                   token);
+                return res;
+            }
+            size_t dev = 0;
+            double t0 = 0.0, t1 = 0.0, factor = 1.0;
+            if (!parseDev(args.substr(0, at), token, res, dev) ||
+                !parseNum(args.substr(at + 1, dash - at - 1), token,
+                          res, t0) ||
+                !parseNum(args.substr(dash + 1, x - dash - 1), token,
+                          res, t1) ||
+                !parseNum(args.substr(x + 1), token, res, factor))
+                return res;
+            if (t1 <= t0 || factor < 1.0) {
+                res.ok = false;
+                res.error = format("slow token '{}' needs t1 > t0 and "
+                                   "factor >= 1",
+                                   token);
+                return res;
+            }
             plan.events.push_back({t0, dev, FaultKind::SlowStart,
                                    factor});
             plan.events.push_back({t1, dev, FaultKind::SlowEnd, 1.0});
         } else {
-            DOTA_FATAL("unknown fault-plan verb '{}' in '{}' (expected "
-                       "kill, revive, slow, transient or mtbf)",
-                       verb, token);
+            res.ok = false;
+            res.error = format("unknown fault-plan verb '{}' in '{}' "
+                               "(expected kill, revive, slow, "
+                               "transient or mtbf)",
+                               verb, token);
+            return res;
         }
     }
-    return plan;
+    return res;
+}
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlanParse res = tryParseFaultPlan(spec);
+    if (!res.ok)
+        DOTA_FATAL("{}", res.error);
+    return res.plan;
+}
+
+std::string
+faultPlanGrammar()
+{
+    return "fault-plan grammar (comma-separated tokens):\n"
+           "  kill:<dev>@<ms>            fail-stop death of <dev> at "
+           "<ms>\n"
+           "  revive:<dev>@<ms>          revival of <dev> at <ms>\n"
+           "  slow:<dev>@<t0>-<t1>x<f>   <dev> serves f-times slower "
+           "in [t0, t1)\n"
+           "  transient:<p>              per-attempt transient failure "
+           "probability\n"
+           "  mtbf:<mtbf_ms>x<repair_ms> random fail-stop faults per "
+           "device\n"
+           "example: kill:0@500,revive:0@900,transient:0.01";
 }
 
 std::string

@@ -72,8 +72,27 @@ struct FaultPlan
     double repair_ms = 0.0;
 };
 
+/** Outcome of tryParseFaultPlan: a plan or a diagnostic. */
+struct FaultPlanParse
+{
+    FaultPlan plan;
+    bool ok = true;
+    /** Human-readable diagnostic naming the offending token when !ok. */
+    std::string error;
+};
+
+/**
+ * Parse the --fault-plan spec described above. Malformed input never
+ * terminates the process: the result carries ok = false and a
+ * diagnostic that names the bad token and what was expected.
+ */
+FaultPlanParse tryParseFaultPlan(const std::string &spec);
+
 /** Parse the --fault-plan spec described above; fatal() on bad syntax. */
 FaultPlan parseFaultPlan(const std::string &spec);
+
+/** One-paragraph help text describing the --fault-plan grammar. */
+std::string faultPlanGrammar();
 
 /** Render @p plan back into the --fault-plan spec grammar. */
 std::string describeFaultPlan(const FaultPlan &plan);

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Full training-state checkpoints with crash-safe write and verified
+ * recovery.
+ *
+ * A model-only checkpoint (nn/serialize.hpp) cannot resume training
+ * bit-identically: Adam's moment estimates, its bias-correction clock,
+ * the data-stream RNG position, the loss history and the guard-rail
+ * counters all shape subsequent steps. A TrainingSnapshot captures
+ * every one of those, and the checkpoint file (record-file container,
+ * kind "TRNS") stores them with a CRC32 per record plus a whole-file
+ * footer checksum, written atomically (temp + rename).
+ *
+ * The recovery contract: kill the trainer at *any* point and
+ * resumeLatest() restores the newest checkpoint that verifies, skipping
+ * corrupt/truncated/torn files, and the continued run reproduces the
+ * uninterrupted run's trajectory bit-for-bit at any DOTA_THREADS (see
+ * tests/test_crash_resume.cpp and DESIGN.md §10).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/adam.hpp"
+#include "nn/serialize.hpp"
+#include "train/guardrails.hpp"
+
+namespace dota {
+
+/** Everything needed to continue a training run bit-identically. */
+struct TrainingSnapshot
+{
+    uint64_t step = 0; ///< optimizer steps completed so far
+
+    /** Parameter (name, value) pairs in collectParams order. */
+    std::vector<std::pair<std::string, Matrix>> params;
+
+    /** Adam state, aligned with params. */
+    std::vector<Matrix> adam_m;
+    std::vector<Matrix> adam_v;
+    uint64_t adam_t = 0;
+
+    RngState data_rng;                ///< data-stream position
+    std::vector<double> loss_history; ///< per-step losses of [0, step)
+    GuardRailStats guard;             ///< guard-rail counters
+};
+
+/** Checkpoint policy for a training run. */
+struct CheckpointConfig
+{
+    std::string dir;      ///< checkpoint directory; empty disables
+    size_t every = 0;     ///< save every N completed steps; 0 disables
+    size_t keep_last = 3; ///< retention: newest N checkpoints kept
+    bool resume = false;  ///< resumeLatest(dir) before training
+
+    bool savingEnabled() const { return !dir.empty() && every > 0; }
+    bool resumeEnabled() const { return !dir.empty() && resume; }
+};
+
+/** Capture a snapshot from live training objects. */
+TrainingSnapshot captureSnapshot(uint64_t step,
+                                 const std::vector<Parameter *> &params,
+                                 const Adam &opt, const Rng &data_rng,
+                                 const std::vector<double> &loss_history,
+                                 const GuardRailStats &guard);
+
+/**
+ * Apply @p snap to live training objects. Returns Ok, or ArchMismatch
+ * (with a diagnostic naming both the expected and found parameter
+ * name/shape in @p error) when the snapshot belongs to a different
+ * architecture. Nothing is modified on failure.
+ */
+LoadStatus applySnapshot(const TrainingSnapshot &snap,
+                         const std::vector<Parameter *> &params,
+                         Adam &opt, Rng &data_rng,
+                         std::string *error = nullptr);
+
+/**
+ * Serialize @p snap to @p path atomically. Returns false and sets
+ * @p error on IO failure (the previous file, if any, is preserved).
+ */
+bool trySaveTrainCheckpoint(const TrainingSnapshot &snap,
+                            const std::string &path,
+                            std::string *error = nullptr);
+
+/** trySaveTrainCheckpoint that fatal()s on failure. */
+void saveTrainCheckpoint(const TrainingSnapshot &snap,
+                         const std::string &path);
+
+/**
+ * Load and verify a training checkpoint. Every failure mode is a
+ * status, never a crash: IoError, NotACheckpoint, BadVersion,
+ * Truncated, Corrupt.
+ */
+LoadStatus tryLoadTrainCheckpoint(const std::string &path,
+                                  TrainingSnapshot &out,
+                                  std::string *error = nullptr);
+
+/** Canonical file name for the checkpoint after @p step steps. */
+std::string checkpointFileName(uint64_t step);
+
+/**
+ * Checkpoint files (names, not paths) under @p dir, sorted by step
+ * ascending. Non-checkpoint names are ignored.
+ */
+std::vector<std::string> listTrainCheckpoints(const std::string &dir);
+
+/** Outcome of a resumeLatest scan. */
+struct ResumeResult
+{
+    bool resumed = false;      ///< a verified checkpoint was loaded
+    std::string path;          ///< the file that verified
+    size_t skipped_bad = 0;    ///< newer files rejected by verification
+    std::vector<std::string> diagnostics; ///< one line per rejected file
+};
+
+/**
+ * Scan @p dir for the newest checkpoint that passes full verification,
+ * walking backwards past corrupt/truncated/unreadable files. When every
+ * candidate fails (or none exists) the result has resumed=false and the
+ * caller starts fresh — a damaged checkpoint directory degrades to lost
+ * progress, never to a crash or silently wrong weights.
+ */
+ResumeResult resumeLatest(const std::string &dir, TrainingSnapshot &out);
+
+/**
+ * Delete all but the newest @p keep_last checkpoints in @p dir.
+ * keep_last == 0 is treated as 1 (never delete the only copy).
+ */
+void pruneCheckpoints(const std::string &dir, size_t keep_last);
+
+/**
+ * Glue object owned by a training loop: resume() restores state at the
+ * start of train(), onStepComplete() saves/prunes on the configured
+ * cadence. Keeps the checkpoint policy identical across trainers.
+ */
+class CheckpointManager
+{
+  public:
+    explicit CheckpointManager(CheckpointConfig cfg) : cfg_(std::move(cfg)) {}
+
+    /**
+     * Attempt resume per config; applies the snapshot to the live
+     * objects and returns the step to continue from (0 when starting
+     * fresh). fatal() when a verified snapshot does not fit the model
+     * (wrong checkpoint directory for this architecture).
+     */
+    size_t resume(const std::vector<Parameter *> &params, Adam &opt,
+                  Rng &data_rng, std::vector<double> &loss_history,
+                  StepGuard &guard);
+
+    /** Save + prune when @p completed_steps hits the cadence. */
+    void onStepComplete(uint64_t completed_steps,
+                        const std::vector<Parameter *> &params,
+                        const Adam &opt, const Rng &data_rng,
+                        const std::vector<double> &loss_history,
+                        const StepGuard &guard);
+
+  private:
+    CheckpointConfig cfg_;
+};
+
+} // namespace dota

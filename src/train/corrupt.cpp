@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the corruption injector.
+ */
+#include "train/corrupt.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/fileio.hpp"
+#include "common/logging.hpp"
+
+namespace dota {
+
+std::string
+corruptionModeName(CorruptionMode mode)
+{
+    switch (mode) {
+      case CorruptionMode::BitFlip:
+        return "bit-flip";
+      case CorruptionMode::Truncate:
+        return "truncate";
+      case CorruptionMode::ZeroFill:
+        return "zero-fill";
+      case CorruptionMode::TornWrite:
+        return "torn-write";
+    }
+    DOTA_PANIC("unknown corruption mode");
+}
+
+bool
+corruptFile(const std::string &path, CorruptionMode mode, Rng &rng)
+{
+    std::string bytes;
+    if (!readFile(path, bytes) || bytes.empty())
+        return false;
+    const size_t n = bytes.size();
+
+    switch (mode) {
+      case CorruptionMode::BitFlip: {
+        const size_t byte = static_cast<size_t>(rng.uniformInt(n));
+        const int bit = static_cast<int>(rng.uniformInt(8));
+        bytes[byte] = static_cast<char>(
+            static_cast<unsigned char>(bytes[byte]) ^ (1u << bit));
+        break;
+      }
+      case CorruptionMode::Truncate: {
+        // Keep a strict prefix; possibly empty.
+        bytes.resize(static_cast<size_t>(rng.uniformInt(n)));
+        break;
+      }
+      case CorruptionMode::ZeroFill: {
+        const size_t span = 1 + static_cast<size_t>(
+            rng.uniformInt(std::min<size_t>(n, 64)));
+        const size_t start = static_cast<size_t>(
+            rng.uniformInt(n - span + 1));
+        bool all_zero = true;
+        for (size_t i = start; i < start + span; ++i)
+            all_zero = all_zero && bytes[i] == 0;
+        std::fill(bytes.begin() + static_cast<ptrdiff_t>(start),
+                  bytes.begin() + static_cast<ptrdiff_t>(start + span),
+                  '\0');
+        // Zeroing an already-zero span changes nothing; flip a bit in
+        // the span instead so the damage guarantee holds.
+        if (all_zero)
+            bytes[start] = 1;
+        break;
+      }
+      case CorruptionMode::TornWrite: {
+        // An interrupted in-place rewrite: everything past a random
+        // offset is garbage instead of the intended bytes.
+        const size_t torn_at = static_cast<size_t>(rng.uniformInt(n));
+        for (size_t i = torn_at; i < n; ++i)
+            bytes[i] = static_cast<char>(rng.uniformInt(256));
+        // Random bytes can coincide with the original tail (always,
+        // when torn_at == n); force at least one differing byte.
+        bytes[torn_at == n ? n - 1 : torn_at] ^= 0x55;
+        break;
+      }
+    }
+
+    // Deliberately a plain non-atomic rewrite: the injector *is* the
+    // storage failure.
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(os.flush());
+}
+
+} // namespace dota

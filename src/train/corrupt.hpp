@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Seeded checkpoint-corruption injection harness.
+ *
+ * The recovery path is only trustworthy if it is exercised against the
+ * failure modes real storage produces. This injector damages a
+ * checkpoint file in four representative ways, all driven by an
+ * explicit Rng so every corruption experiment is replayable:
+ *
+ *  - BitFlip:   one random bit inverted in place (media/DRAM bit rot)
+ *  - Truncate:  the file cut short at a random offset (crash mid-write
+ *               on filesystems without atomic rename, disk-full)
+ *  - ZeroFill:  a random span overwritten with zeros (lost sectors)
+ *  - TornWrite: the tail replaced by random bytes from a random offset
+ *               (interrupted in-place rewrite)
+ *
+ * Every mode must be *detected* by checkpoint verification — the
+ * property tests in tests/test_checkpoint.cpp assert that no corrupted
+ * file ever loads as Ok.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace dota {
+
+/** Storage failure mode to inject. */
+enum class CorruptionMode
+{
+    BitFlip,
+    Truncate,
+    ZeroFill,
+    TornWrite,
+};
+
+/** All modes, for parameterized tests. */
+inline constexpr CorruptionMode kAllCorruptionModes[] = {
+    CorruptionMode::BitFlip,
+    CorruptionMode::Truncate,
+    CorruptionMode::ZeroFill,
+    CorruptionMode::TornWrite,
+};
+
+/** Display name, e.g. "bit-flip". */
+std::string corruptionModeName(CorruptionMode mode);
+
+/**
+ * Damage the file at @p path in place with @p mode, drawing offsets and
+ * bytes from @p rng. Guarantees the stored bytes differ from the
+ * original. Returns false when the file cannot be read or rewritten.
+ */
+bool corruptFile(const std::string &path, CorruptionMode mode, Rng &rng);
+
+} // namespace dota

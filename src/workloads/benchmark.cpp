@@ -155,4 +155,49 @@ benchmarkByName(const std::string &name)
                "Retrieval, or LM", name);
 }
 
+TaskConfig
+proxyTaskFor(const Benchmark &b)
+{
+    DOTA_ASSERT(b.id != BenchmarkId::LM,
+                "the LM benchmark trains on a grammar, not a "
+                "classification task (use proxyGrammarFor)");
+    TaskConfig tc;
+    tc.in_dim = b.tiny.in_dim;
+    tc.classes = b.tiny.classes;
+    tc.seq_len = 64;
+    tc.signal_count = 6;
+    // Keep L_model bounded away from zero at convergence (like real
+    // data) and the signal non-trivial to detect.
+    tc.label_noise = 0.1;
+    tc.signal_strength = 2.0;
+    tc.seed = 100 + static_cast<uint64_t>(b.id);
+    switch (b.id) {
+      case BenchmarkId::QA:
+        tc.locality = 0.2;
+        break;
+      case BenchmarkId::Image:
+        tc.locality = 1.0; // pixel neighbourhoods
+        break;
+      case BenchmarkId::Text:
+        tc.locality = 0.5;
+        break;
+      case BenchmarkId::Retrieval:
+        tc.kind = TaskKind::Match; // cross-document matching
+        tc.locality = 0.3;
+        break;
+      case BenchmarkId::LM:
+        break; // unreachable, asserted above
+    }
+    return tc;
+}
+
+GrammarConfig
+proxyGrammarFor(const Benchmark &b)
+{
+    GrammarConfig gc;
+    gc.seq_len = 96;
+    gc.vocab = b.tiny.vocab;
+    return gc;
+}
+
 } // namespace dota

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "nn/transformer.hpp"
+#include "workloads/synthetic_task.hpp"
 
 namespace dota {
 
@@ -78,5 +79,16 @@ const Benchmark &benchmark(BenchmarkId id);
 
 /** Benchmark by name ("QA", "Image", ...); fatal() on unknown. */
 const Benchmark &benchmarkByName(const std::string &name);
+
+/**
+ * Synthetic proxy task for a classification benchmark (the stand-in
+ * for SQuAD/LRA data, DESIGN.md §1): locality/kind mirror the
+ * benchmark's attention structure. Not valid for LM — use
+ * proxyGrammarFor.
+ */
+TaskConfig proxyTaskFor(const Benchmark &b);
+
+/** Synthetic grammar for the LM benchmark's training stream. */
+GrammarConfig proxyGrammarFor(const Benchmark &b);
 
 } // namespace dota

@@ -84,6 +84,14 @@ ClassifierTrainer::train()
     Adam opt(params_, cfg_.adam);
     Rng data_rng(cfg_.data_seed);
     loss_history_.clear();
+    StepGuard guard(cfg_.guard);
+    CheckpointManager ckpt(cfg_.checkpoint);
+    // Resume restores params, Adam moments, the data-stream RNG, the
+    // loss history and the guard counters — everything the remaining
+    // steps depend on, so the continued trajectory is bit-identical to
+    // an uninterrupted run.
+    const size_t start_step =
+        ckpt.resume(params_, opt, data_rng, loss_history_, guard);
     loss_history_.reserve(cfg_.steps);
 
     // Replicas carry neither the attention hook nor jointly-trained extra
@@ -103,11 +111,11 @@ ClassifierTrainer::train()
         replicas.back()->collectParams(replica_params.back());
     }
 
-    double last_loss = 0.0;
+    double last_loss = loss_history_.empty() ? 0.0 : loss_history_.back();
     std::vector<Sample> batch(cfg_.batch);
     std::vector<std::vector<Matrix>> sample_grads(cfg_.batch);
     std::vector<double> sample_loss(cfg_.batch, 0.0);
-    for (size_t step = 0; step < cfg_.steps; ++step) {
+    for (size_t step = start_step; step < cfg_.steps; ++step) {
         // Draw the whole batch serially: the data stream is identical to
         // the historical one for every thread count.
         for (size_t b = 0; b < cfg_.batch; ++b)
@@ -143,14 +151,26 @@ ClassifierTrainer::train()
             accumulateGrads(params_, sample_grads[b]);
         }
         scaleGrads(params_, 1.0 / static_cast<double>(cfg_.batch));
-        opt.step();
+        if (grad_cb_)
+            grad_cb_(step, params_);
         last_loss = loss_sum / static_cast<double>(cfg_.batch);
+        // Guard rail: a non-finite loss or gradient withholds the
+        // update (params and moments keep pre-step values).
+        if (!guard.shouldSkip(last_loss, params_)) {
+            opt.step();
+            guard.afterStep(opt);
+        }
         loss_history_.push_back(last_loss);
         if (step_cb_)
             step_cb_(step);
         if (cfg_.verbose && (step + 1) % cfg_.log_every == 0)
             inform("step {}/{} loss {}", step + 1, cfg_.steps, last_loss);
+        ckpt.onStepComplete(step + 1, params_, opt, data_rng,
+                            loss_history_, guard);
+        if (cfg_.halt_after_step > 0 && step + 1 >= cfg_.halt_after_step)
+            break; // simulated preemption (tests)
     }
+    guard_stats_ = guard.stats();
     return last_loss;
 }
 
@@ -193,6 +213,10 @@ LMTrainer::train()
     Adam opt(params_, cfg_.adam);
     Rng data_rng(cfg_.data_seed);
     loss_history_.clear();
+    StepGuard guard(cfg_.guard);
+    CheckpointManager ckpt(cfg_.checkpoint);
+    const size_t start_step =
+        ckpt.resume(params_, opt, data_rng, loss_history_, guard);
     loss_history_.reserve(cfg_.steps);
 
     const bool replicable = params_.size() == model_param_count_ &&
@@ -207,11 +231,11 @@ LMTrainer::train()
         replicas.back()->collectParams(replica_params.back());
     }
 
-    double last_loss = 0.0;
+    double last_loss = loss_history_.empty() ? 0.0 : loss_history_.back();
     std::vector<std::vector<int>> batch(cfg_.batch);
     std::vector<std::vector<Matrix>> sample_grads(cfg_.batch);
     std::vector<double> sample_loss(cfg_.batch, 0.0);
-    for (size_t step = 0; step < cfg_.steps; ++step) {
+    for (size_t step = start_step; step < cfg_.steps; ++step) {
         for (size_t b = 0; b < cfg_.batch; ++b)
             batch[b] = grammar_.sample(data_rng);
         for (auto &rep : replicas)
@@ -238,13 +262,23 @@ LMTrainer::train()
             accumulateGrads(params_, sample_grads[b]);
         }
         scaleGrads(params_, 1.0 / static_cast<double>(cfg_.batch));
-        opt.step();
+        if (grad_cb_)
+            grad_cb_(step, params_);
         last_loss = loss_sum / static_cast<double>(cfg_.batch);
+        if (!guard.shouldSkip(last_loss, params_)) {
+            opt.step();
+            guard.afterStep(opt);
+        }
         loss_history_.push_back(last_loss);
         if (cfg_.verbose && (step + 1) % cfg_.log_every == 0)
             inform("LM step {}/{} loss {}", step + 1, cfg_.steps,
                    last_loss);
+        ckpt.onStepComplete(step + 1, params_, opt, data_rng,
+                            loss_history_, guard);
+        if (cfg_.halt_after_step > 0 && step + 1 >= cfg_.halt_after_step)
+            break; // simulated preemption (tests)
     }
+    guard_stats_ = guard.stats();
     return last_loss;
 }
 

@@ -17,12 +17,23 @@
  * jointly-trained extra parameters are not replicable and keep today's
  * serial batch loop (with the same fixed-order reduction, so their
  * numerics are thread-count independent too).
+ *
+ * Crash safety (src/train/): with TrainConfig::checkpoint configured the
+ * loop periodically writes atomic, checksummed full-state checkpoints
+ * (params + Adam moments + data-RNG + loss history + guard counters) and
+ * can resume from the newest verifiable one; killing the process at any
+ * step and resuming reproduces the uninterrupted trajectory bit-for-bit
+ * at any thread count. TrainConfig::guard adds numerical guard rails:
+ * non-finite loss/gradient steps are counted and skipped (the optimizer
+ * update is withheld) instead of poisoning the weights.
  */
 #pragma once
 
 #include <functional>
 
 #include "nn/transformer.hpp"
+#include "train/checkpoint.hpp"
+#include "train/guardrails.hpp"
 #include "workloads/synthetic_task.hpp"
 
 namespace dota {
@@ -36,6 +47,16 @@ struct TrainConfig
     AdamConfig adam;
     bool verbose = false;
     size_t log_every = 100;
+
+    CheckpointConfig checkpoint; ///< crash-safe checkpointing policy
+    GuardRailConfig guard;       ///< numerical guard rails
+
+    /**
+     * Simulated preemption for tests: when > 0, train() returns after
+     * this many steps have *completed* (checkpoints already on disk
+     * stay), as if the process had been killed between steps.
+     */
+    size_t halt_after_step = 0;
 };
 
 /** Evaluation outcome. */
@@ -64,11 +85,25 @@ class ClassifierTrainer
         step_cb_ = std::move(cb);
     }
 
+    /**
+     * Test hook: called after the fixed-order gradient reduction and
+     * before the guard-rail check / optimizer update. Used to inject
+     * non-finite gradients at chosen steps.
+     */
+    void setGradCallback(
+        std::function<void(size_t, const std::vector<Parameter *> &)> cb)
+    {
+        grad_cb_ = std::move(cb);
+    }
+
     /** Run the configured number of steps; returns final mean loss. */
     double train();
 
     /** Mean loss of every step of the most recent train() call. */
     const std::vector<double> &lossHistory() const { return loss_history_; }
+
+    /** Guard-rail counters of the most recent train() call. */
+    const GuardRailStats &guardStats() const { return guard_stats_; }
 
     /** Deterministic held-out evaluation (same seed -> same set). */
     EvalResult evaluate(size_t samples, uint64_t seed = 4242) const;
@@ -80,7 +115,9 @@ class ClassifierTrainer
     std::vector<Parameter *> params_;
     size_t model_param_count_ = 0; ///< params_ prefix owned by the model
     std::function<void(size_t)> step_cb_;
+    std::function<void(size_t, const std::vector<Parameter *> &)> grad_cb_;
     std::vector<double> loss_history_;
+    GuardRailStats guard_stats_;
 };
 
 /** Trainer for CausalLM on a SyntheticGrammar. */
@@ -92,10 +129,20 @@ class LMTrainer
 
     void addExtraParams(const std::vector<Parameter *> &params);
 
+    /** Test hook: see ClassifierTrainer::setGradCallback. */
+    void setGradCallback(
+        std::function<void(size_t, const std::vector<Parameter *> &)> cb)
+    {
+        grad_cb_ = std::move(cb);
+    }
+
     double train();
 
     /** Mean loss of every step of the most recent train() call. */
     const std::vector<double> &lossHistory() const { return loss_history_; }
+
+    /** Guard-rail counters of the most recent train() call. */
+    const GuardRailStats &guardStats() const { return guard_stats_; }
 
     /** Perplexity on a deterministic held-out stream. */
     EvalResult evaluate(size_t samples, uint64_t seed = 4242) const;
@@ -106,7 +153,9 @@ class LMTrainer
     TrainConfig cfg_;
     std::vector<Parameter *> params_;
     size_t model_param_count_ = 0; ///< params_ prefix owned by the model
+    std::function<void(size_t, const std::vector<Parameter *> &)> grad_cb_;
     std::vector<double> loss_history_;
+    GuardRailStats guard_stats_;
 };
 
 } // namespace dota

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Preemption property tests: kill the trainer at any step, resume from
+ * the newest checkpoint, and the continued trajectory must be
+ * bit-identical to the uninterrupted golden run — at DOTA_THREADS=1 and
+ * DOTA_THREADS=8 (the checkpoint captures params, Adam moments, the
+ * data-stream RNG, the loss history and the guard counters, and the
+ * batch loop reduces gradients in fixed order).
+ *
+ * The golden trajectory lives in tests/data/golden_resume.txt.
+ * Regenerate (after an intentional numerics change) with:
+ *   DOTA_REGEN_GOLDEN=1 ./dota_parallel_tests \
+ *       --gtest_filter='CrashResume.*'
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/fileio.hpp"
+#include "common/thread_pool.hpp"
+#include "workloads/trainer.hpp"
+
+namespace dota {
+namespace {
+
+constexpr size_t kSteps = 16;
+constexpr size_t kCheckpointEvery = 4;
+
+std::string
+goldenPath()
+{
+    return std::string(DOTA_TEST_DATA_DIR) + "/golden_resume.txt";
+}
+
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "dota_resume_" + name;
+    std::filesystem::remove_all(dir);
+    EXPECT_TRUE(ensureDir(dir));
+    return dir;
+}
+
+TaskConfig
+taskCfg()
+{
+    TaskConfig tc;
+    tc.seq_len = 32;
+    tc.in_dim = 8;
+    tc.classes = 4;
+    tc.signal_count = 4;
+    tc.seed = 21;
+    return tc;
+}
+
+TransformerConfig
+modelCfg()
+{
+    TransformerConfig mc;
+    mc.in_dim = 8;
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 2;
+    mc.ffn_dim = 32;
+    mc.classes = 4;
+    mc.seed = 33;
+    return mc;
+}
+
+/**
+ * One training run from a fresh model. @p halt_after simulates a kill
+ * after that many completed steps (0 = run to the end); @p dir enables
+ * checkpointing, and @p resume restores the newest checkpoint first.
+ */
+std::vector<double>
+run(size_t halt_after, const std::string &dir, bool resume)
+{
+    SyntheticTask task(taskCfg());
+    TransformerClassifier model(modelCfg());
+    TrainConfig cfg;
+    cfg.steps = kSteps;
+    cfg.batch = 4;
+    cfg.data_seed = 55;
+    cfg.halt_after_step = halt_after;
+    if (!dir.empty()) {
+        cfg.checkpoint.dir = dir;
+        cfg.checkpoint.every = kCheckpointEvery;
+        cfg.checkpoint.resume = resume;
+    }
+    ClassifierTrainer trainer(model, task, cfg);
+    trainer.train();
+    return trainer.lossHistory();
+}
+
+std::string
+formatLoss(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+std::vector<double>
+readGolden()
+{
+    std::ifstream in(goldenPath());
+    std::vector<double> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        out.push_back(std::strtod(line.c_str(), nullptr));
+    }
+    return out;
+}
+
+void
+expectMatchesGolden(const std::vector<double> &losses,
+                    const std::vector<double> &golden,
+                    const std::string &context)
+{
+    ASSERT_EQ(losses.size(), golden.size()) << context;
+    for (size_t s = 0; s < losses.size(); ++s)
+        EXPECT_EQ(losses[s], golden[s])
+            << context << " diverges at step " << s << ": "
+            << formatLoss(losses[s]) << " != " << formatLoss(golden[s]);
+}
+
+TEST(CrashResume, UninterruptedRunMatchesGolden)
+{
+    ThreadPool::setGlobalConcurrency(1);
+    const std::vector<double> losses = run(0, "", false);
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+    ASSERT_EQ(losses.size(), kSteps);
+
+    if (envFlag("DOTA_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        out << "# Uninterrupted serial (DOTA_THREADS=1) loss trajectory, "
+            << kSteps << " steps, fixed seeds.\n"
+            << "# Kill-and-resume runs must reproduce it bit-for-bit; "
+               "values are C99 hex floats.\n"
+            << "# Regenerate with DOTA_REGEN_GOLDEN=1 (see "
+               "test_crash_resume.cpp).\n";
+        for (double v : losses)
+            out << formatLoss(v) << "\n";
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+    expectMatchesGolden(losses, readGolden(), "uninterrupted");
+}
+
+TEST(CrashResume, CheckpointingDoesNotPerturbTheTrajectory)
+{
+    if (envFlag("DOTA_REGEN_GOLDEN"))
+        GTEST_SKIP() << "regeneration pass";
+    const std::vector<double> golden = readGolden();
+    ASSERT_FALSE(golden.empty()) << "missing " << goldenPath();
+    const std::string dir = scratchDir("observer");
+    ThreadPool::setGlobalConcurrency(1);
+    const std::vector<double> losses = run(0, dir, false);
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+    expectMatchesGolden(losses, golden, "checkpointing run");
+    EXPECT_FALSE(listTrainCheckpoints(dir).empty());
+}
+
+TEST(CrashResume, KillAtAnyStepResumesBitIdenticallySerial)
+{
+    if (envFlag("DOTA_REGEN_GOLDEN"))
+        GTEST_SKIP() << "regeneration pass";
+    const std::vector<double> golden = readGolden();
+    ASSERT_FALSE(golden.empty()) << "missing " << goldenPath();
+
+    // Kill steps straddle the checkpoint cadence: before the first
+    // checkpoint (3 — resume starts fresh), on the cadence (8), just
+    // after one (10), and just before the end (15).
+    ThreadPool::setGlobalConcurrency(1);
+    for (size_t kill_at : {size_t(3), size_t(8), size_t(10),
+                           size_t(15)}) {
+        const std::string dir =
+            scratchDir("serial_k" + std::to_string(kill_at));
+        const std::vector<double> partial = run(kill_at, dir, false);
+        ASSERT_EQ(partial.size(), kill_at);
+        const std::vector<double> resumed = run(0, dir, true);
+        expectMatchesGolden(resumed, golden,
+                            "kill@" + std::to_string(kill_at));
+    }
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+}
+
+TEST(CrashResume, KillAndResumeBitIdenticalAtEightThreads)
+{
+    if (envFlag("DOTA_REGEN_GOLDEN"))
+        GTEST_SKIP() << "regeneration pass";
+    const std::vector<double> golden = readGolden();
+    ASSERT_FALSE(golden.empty()) << "missing " << goldenPath();
+
+    ThreadPool::setGlobalConcurrency(8);
+    for (size_t kill_at : {size_t(6), size_t(13)}) {
+        const std::string dir =
+            scratchDir("par_k" + std::to_string(kill_at));
+        run(kill_at, dir, false);
+        const std::vector<double> resumed = run(0, dir, true);
+        expectMatchesGolden(resumed, golden,
+                            "8-thread kill@" + std::to_string(kill_at));
+    }
+    // Kill under 8 threads, resume under 1: the checkpoint carries no
+    // thread-count dependence either.
+    const std::string dir = scratchDir("cross_k10");
+    run(10, dir, false);
+    ThreadPool::setGlobalConcurrency(1);
+    const std::vector<double> resumed = run(0, dir, true);
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+    expectMatchesGolden(resumed, golden, "8->1 thread kill@10");
+}
+
+TEST(CrashResume, LMKillAndResumeBitIdentical)
+{
+    // The LM trainer shares the checkpoint plumbing; compare a
+    // kill-and-resume run against an in-process uninterrupted run.
+    GrammarConfig gc;
+    gc.seq_len = 24;
+    gc.vocab = 32;
+    TransformerConfig mc;
+    mc.in_dim = 8;
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 1;
+    mc.ffn_dim = 32;
+    mc.classes = 2;
+    mc.vocab = 32;
+    mc.max_seq = 32;
+    mc.seed = 44;
+    TrainConfig cfg;
+    cfg.steps = 8;
+    cfg.batch = 2;
+    cfg.data_seed = 66;
+
+    auto runLm = [&](size_t halt_after, const std::string &dir,
+                     bool resume) {
+        SyntheticGrammar grammar(gc);
+        CausalLM model(mc);
+        TrainConfig c = cfg;
+        c.halt_after_step = halt_after;
+        if (!dir.empty()) {
+            c.checkpoint.dir = dir;
+            c.checkpoint.every = 2;
+            c.checkpoint.resume = resume;
+        }
+        LMTrainer trainer(model, grammar, c);
+        trainer.train();
+        return trainer.lossHistory();
+    };
+
+    ThreadPool::setGlobalConcurrency(1);
+    const std::vector<double> uninterrupted = runLm(0, "", false);
+    const std::string dir = scratchDir("lm_k5");
+    runLm(5, dir, false);
+    const std::vector<double> resumed = runLm(0, dir, true);
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+    ASSERT_EQ(uninterrupted.size(), cfg.steps);
+    ASSERT_EQ(resumed.size(), uninterrupted.size());
+    for (size_t s = 0; s < resumed.size(); ++s)
+        EXPECT_EQ(resumed[s], uninterrupted[s]) << "LM step " << s;
+}
+
+} // namespace
+} // namespace dota

@@ -80,7 +80,7 @@ TEST(Serialize, ArchitectureMismatchFatal)
     other.ffn_dim = 64;
     TransformerClassifier b(other);
     EXPECT_EXIT(loadCheckpoint(b, path),
-                ::testing::ExitedWithCode(1), "shape mismatch");
+                ::testing::ExitedWithCode(1), "module expects");
     std::remove(path.c_str());
 }
 

@@ -128,6 +128,56 @@ TEST(ServeFault, ParsePlanRoundTrip)
     EXPECT_EQ(parseFaultPlan("").events.size(), 0u);
 }
 
+TEST(ServeFault, TryParseRejectsMalformedPlans)
+{
+    // Every malformed spec yields ok=false with a diagnostic that names
+    // the offending token — never a crash, never a half-built plan.
+    const char *bad[] = {
+        "bogus:1@2",            // unknown verb
+        "kill",                 // no colon
+        "kill:@100",            // empty device
+        "kill:x@100",           // non-numeric device
+        "kill:0",               // missing @<ms>
+        "kill:0@abc",           // junk time
+        "kill:0@-5",            // negative time
+        "slow:0@100",           // incomplete slow spec
+        "slow:0@300-100x2",     // t1 <= t0
+        "slow:0@100-300x0.5",   // factor < 1
+        "transient:1.5",        // probability > 1
+        "transient:nan",        // non-finite
+        "mtbf:5000",            // missing x<repair>
+    };
+    for (const char *spec : bad) {
+        const FaultPlanParse res = tryParseFaultPlan(spec);
+        EXPECT_FALSE(res.ok) << spec;
+        EXPECT_FALSE(res.error.empty()) << spec;
+    }
+}
+
+TEST(ServeFault, TryParseAcceptsGoodPlans)
+{
+    const FaultPlanParse res =
+        tryParseFaultPlan("kill:1@50,slow:0@10-20x2,transient:0.5");
+    EXPECT_TRUE(res.ok);
+    EXPECT_TRUE(res.error.empty());
+    EXPECT_EQ(res.plan.events.size(), 3u);
+    EXPECT_DOUBLE_EQ(res.plan.transient_prob, 0.5);
+    // Whitespace and empty tokens are tolerated.
+    EXPECT_TRUE(tryParseFaultPlan("  ").ok);
+    EXPECT_TRUE(tryParseFaultPlan(",,kill:0@1,,").ok);
+    // The grammar help text mentions every verb.
+    const std::string g = faultPlanGrammar();
+    for (const char *verb :
+         {"kill", "revive", "slow", "transient", "mtbf"})
+        EXPECT_NE(g.find(verb), std::string::npos) << verb;
+}
+
+TEST(ServeFault, ParseFatalOnBadPlan)
+{
+    EXPECT_EXIT(parseFaultPlan("bogus:1@2"),
+                ::testing::ExitedWithCode(1), "unknown fault-plan verb");
+}
+
 TEST(ServeFault, InjectorSortsAndValidates)
 {
     FaultPlan plan;
