@@ -2,15 +2,35 @@
  * @file
  * google-benchmark microbenchmarks of the performance-critical kernels:
  * reference GEMM, quantized detection GEMM, row-wise top-k selection,
- * the locality-aware scheduler, and the detector's score estimation.
+ * the locality-aware scheduler, the detector's score estimation, and the
+ * dense-vs-sparse attention retention sweep.
+ *
+ * Output: the human-readable table on stdout plus machine-readable JSON
+ * in BENCH_kernels.json (auto-injected; pass your own --benchmark_out=
+ * to override). The JSON context records dota_threads and simd_isa so a
+ * number is always attributable to a configuration.
+ *
+ * `--smoke` runs a fixed-shape dense-vs-sparse attention comparison and
+ * exits non-zero unless the sparse path is faster at 25% retention and
+ * numerically identical on kept coordinates — the CI guard that the
+ * Level-2 kernels actually deliver the omission speedup.
  */
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "detect/detector.hpp"
 #include "sched/dataflow.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quant.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/sparse_mask.hpp"
+#include "tensor/sparse_ops.hpp"
 #include "tensor/topk.hpp"
 #include "workloads/mask_synth.hpp"
 
@@ -123,19 +143,187 @@ BM_DetectorEstimate(benchmark::State &state)
 }
 BENCHMARK(BM_DetectorEstimate)->Arg(128)->Arg(384);
 
+// ---------------------------------------------------------------------
+// Retention sweep: the attention core (S = QK^T, masked softmax, A*V)
+// computed densely vs with the Level-2 sparse kernels, for one head at
+// n = 512, head_dim = 64. The benchmark argument is retention in
+// per-mille (1000 = dense work on a full mask, 125 = 12.5% kept), the
+// sweep the README's software-speedup table reports. Both variants see
+// the SAME top-k mask, so the comparison isolates kernel work, not mask
+// quality.
+// ---------------------------------------------------------------------
+
+constexpr size_t kAttnSeq = 512;
+constexpr size_t kAttnHeadDim = 64;
+
+struct AttentionProblem
+{
+    Matrix q, k, v;
+    Matrix mask;      ///< dense 0/1 keep mask
+    SparseMask smask; ///< same mask, sparse form
+    float scale = 0.0f;
+};
+
+AttentionProblem
+attentionProblem(size_t n, size_t d, double retention)
+{
+    Rng rng(8);
+    AttentionProblem p;
+    p.q = Matrix::randomNormal(n, d, rng);
+    p.k = Matrix::randomNormal(n, d, rng);
+    p.v = Matrix::randomNormal(n, d, rng);
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(retention * static_cast<double>(n)));
+    const Matrix proxy_scores = Matrix::randomNormal(n, n, rng);
+    p.mask = topkMask(proxy_scores, keep);
+    p.smask = SparseMask::fromDense(p.mask);
+    p.scale = 1.0f / std::sqrt(static_cast<float>(d));
+    return p;
+}
+
+Matrix
+denseMaskedAttention(const AttentionProblem &p)
+{
+    const Matrix s = matmulBT(p.q, p.k);
+    const Matrix a = rowSoftmaxMasked(scale(s, p.scale), p.mask);
+    return matmul(a, p.v);
+}
+
+void
+BM_AttentionDense(benchmark::State &state)
+{
+    const AttentionProblem p = attentionProblem(
+        kAttnSeq, kAttnHeadDim, state.range(0) / 1000.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(denseMaskedAttention(p));
+}
+BENCHMARK(BM_AttentionDense)->Arg(1000)->Arg(500)->Arg(250)->Arg(125);
+
+void
+BM_AttentionSparse(benchmark::State &state)
+{
+    const AttentionProblem p = attentionProblem(
+        kAttnSeq, kAttnHeadDim, state.range(0) / 1000.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sparseMaskedAttention(p.q, p.k, p.v, p.smask, p.scale));
+}
+BENCHMARK(BM_AttentionSparse)->Arg(1000)->Arg(500)->Arg(250)->Arg(125);
+
+// ---------------------------------------------------------------------
+// Smoke mode (CI guard)
+// ---------------------------------------------------------------------
+
+/** Best-of-reps wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn, int reps)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(fn());
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+/**
+ * Fixed-shape dense-vs-sparse comparison: sparse must be (a) bitwise
+ * equal to the dense masked computation and (b) strictly faster at 25%
+ * retention. Returns a process exit code.
+ */
+int
+runSmoke()
+{
+    const AttentionProblem p =
+        attentionProblem(kAttnSeq, kAttnHeadDim, 0.25);
+    const Matrix dense = denseMaskedAttention(p);
+    const Matrix sparse =
+        sparseMaskedAttention(p.q, p.k, p.v, p.smask, p.scale);
+    if (dense.rows() != sparse.rows() || dense.cols() != sparse.cols()) {
+        std::fprintf(stderr, "smoke: shape mismatch\n");
+        return 1;
+    }
+    for (size_t i = 0; i < dense.size(); ++i) {
+        if (dense.data()[i] != sparse.data()[i]) {
+            std::fprintf(stderr,
+                         "smoke: sparse attention diverges from the dense "
+                         "masked computation at flat index %zu "
+                         "(%.9g vs %.9g)\n",
+                         i, static_cast<double>(dense.data()[i]),
+                         static_cast<double>(sparse.data()[i]));
+            return 1;
+        }
+    }
+    const int reps = 20;
+    const double td = bestSeconds([&] { return denseMaskedAttention(p); },
+                                  reps);
+    const double ts = bestSeconds(
+        [&] {
+            return sparseMaskedAttention(p.q, p.k, p.v, p.smask, p.scale);
+        },
+        reps);
+    std::printf("smoke: n=%zu d=%zu retention=25%% isa=%s threads=%zu\n"
+                "smoke: dense %.3f ms, sparse %.3f ms (%.2fx)\n",
+                kAttnSeq, kAttnHeadDim, simdIsaName(activeSimdIsa()),
+                ThreadPool::globalConcurrency(), td * 1e3, ts * 1e3,
+                td / ts);
+    if (ts >= td) {
+        std::fprintf(stderr,
+                     "smoke: FAIL — sparse attention is not faster than "
+                     "dense at 25%% retention\n");
+        return 1;
+    }
+    std::printf("smoke: PASS\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    std::vector<char *> args(argv, argv + argc);
+    bool smoke = false;
+    for (auto it = args.begin(); it != args.end();) {
+        if (std::strcmp(*it, "--smoke") == 0) {
+            smoke = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
+    // Machine-readable output rides along by default (satellite of the
+    // kernel-vectorization PR): inject a JSON --benchmark_out unless the
+    // caller already chose one.
+    bool has_out = false;
+    for (char *a : args)
+        if (std::strncmp(a, "--benchmark_out=", 16) == 0)
+            has_out = true;
+    std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+
+    int our_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&our_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(our_argc, args.data()))
         return 1;
     // Surface the parallel-execution configuration in the report header
-    // so GEMM numbers are attributable to a thread count.
+    // so GEMM numbers are attributable to a thread count and ISA path.
     benchmark::AddCustomContext(
         "dota_threads",
         std::to_string(dota::ThreadPool::globalConcurrency()));
+    benchmark::AddCustomContext("simd_isa",
+                                simdIsaName(activeSimdIsa()));
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

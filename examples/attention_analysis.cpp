@@ -130,7 +130,11 @@ main()
         const double acc = eval.evaluate(150).metric;
         det.consumeMseLoss();
         Rng probe(5);
+        // The inference-time L_MSE probe needs observeScores to fire, so
+        // force the dense path (the sparse path never materializes S).
+        model.setForceDense(true);
         model.forward(task.sample(probe).features);
+        model.setForceDense(false);
         const double mse = det.consumeMseLoss();
         model.setHook(nullptr);
 

@@ -70,6 +70,17 @@ class DotaDetector : public AttentionHook, public Module
                        const Matrix &s_true) override;
     Matrix scoreGradient(size_t layer, size_t head) override;
 
+    /**
+     * The full S is only needed while training (L_MSE and its gradients).
+     * At inference the detector's decisions come entirely from the
+     * low-rank estimate, so the attention layer may omit the weak scores
+     * outright — the speedup the paper's accelerator realizes in
+     * hardware. Measurement code that wants inference-time L_MSE or
+     * detection-quality metrics forces the dense path explicitly
+     * (MultiHeadAttention::setForceDense).
+     */
+    bool wantsFullScores() const override { return cfg_.train; }
+
     // Module interface ---------------------------------------------------
     void collectParams(std::vector<Parameter *> &out) override;
 

@@ -49,6 +49,9 @@ class ElsaDetector : public AttentionHook
     observeScores(size_t, size_t, const Matrix &) override
     {}
 
+    /** Training-free: never inspects S, so the sparse path is legal. */
+    bool wantsFullScores() const override { return false; }
+
     Matrix
     scoreGradient(size_t, size_t) override
     {

@@ -17,6 +17,10 @@ evaluateDetection(TransformerClassifier &model, const SyntheticTask &task,
                   uint64_t seed)
 {
     model.setHook(&hook);
+    // Quality metrics compare the mask against the full score matrix, so
+    // the sparse inference path (which never materializes S) must be
+    // disabled for these probe forwards.
+    model.setForceDense(true);
     Rng rng(seed);
     DetectionQuality q;
     size_t measured = 0;
@@ -44,6 +48,7 @@ evaluateDetection(TransformerClassifier &model, const SyntheticTask &task,
             }
         }
     }
+    model.setForceDense(false);
     model.setHook(nullptr);
     if (measured) {
         q.recall /= static_cast<double>(measured);
@@ -61,10 +66,16 @@ harvestMasks(TransformerClassifier &model)
         auto &attn = blk->attention();
         for (const Matrix &m : attn.lastMasks()) {
             if (m.empty()) {
-                // Dense: every connection selected.
-                const size_t n = attn.lastScores().empty()
-                                     ? 0
-                                     : attn.lastScores()[0].rows();
+                // Dense: every connection selected. Recover the sequence
+                // length from any head that has data (sparse-path heads
+                // leave their score matrix empty).
+                size_t n = 0;
+                for (const Matrix &mm : attn.lastMasks())
+                    if (!mm.empty())
+                        n = mm.rows();
+                for (const Matrix &s : attn.lastScores())
+                    if (!s.empty())
+                        n = s.rows();
                 SparseMask full(n, n);
                 std::vector<uint32_t> all(n);
                 for (size_t c = 0; c < n; ++c)

@@ -46,6 +46,9 @@ class OracleDetector : public AttentionHook
     observeScores(size_t, size_t, const Matrix &) override
     {}
 
+    /** Training-free: never inspects S, so the sparse path is legal. */
+    bool wantsFullScores() const override { return false; }
+
     Matrix
     scoreGradient(size_t, size_t) override
     {

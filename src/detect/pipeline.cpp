@@ -145,6 +145,9 @@ runPipeline(TransformerClassifier &model, const SyntheticTask &task,
     res.detector_mse = detector.consumeMseLoss();
 
     // Inference configuration: mask on, training off, hook installed.
+    // With training off the detector reports wantsFullScores() == false,
+    // so these evaluation forwards run the sparse attention kernels —
+    // scores are computed only at detector-kept coordinates.
     detector.config().train = false;
     res.sparse = joint.evaluate(200);
     return res;
@@ -173,6 +176,7 @@ runPipelineLM(CausalLM &model, const SyntheticGrammar &grammar,
     joint.train();
     res.detector_mse = detector.consumeMseLoss();
 
+    // Sparse-kernel inference evaluation, as in runPipeline above.
     detector.config().train = false;
     res.sparse = joint.evaluate(50);
     return res;

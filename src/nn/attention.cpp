@@ -6,6 +6,9 @@
 
 #include <cmath>
 
+#include "tensor/sparse_mask.hpp"
+#include "tensor/sparse_ops.hpp"
+
 namespace dota {
 
 MultiHeadAttention::MultiHeadAttention(const std::string &name, size_t layer,
@@ -67,6 +70,17 @@ MultiHeadAttention::forward(const Matrix &x)
     a_.assign(heads_, Matrix());
     masks_.assign(heads_, Matrix());
     z_ = Matrix(n, dim_);
+    sparse_forward_ = false;
+
+    // The sparse inference path (tensor/sparse_ops.hpp) computes scores
+    // only at mask-kept coordinates — the software analogue of the
+    // accelerator omitting weak attentions. It is only legal when the
+    // hook does not need the full S (no estimation loss to maintain) and
+    // no measurement code forced the dense path. Kept entries are
+    // bit-identical to the dense masked computation, so this is a pure
+    // work reduction, not an approximation beyond the mask itself.
+    const bool may_sparsify =
+        hook_ && !force_dense_ && !hook_->wantsFullScores();
 
     const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
     for (size_t h = 0; h < heads_; ++h) {
@@ -74,17 +88,28 @@ MultiHeadAttention::forward(const Matrix &x)
         const Matrix kh = headSlice(k_, h);
         const Matrix vh = headSlice(v_, h);
 
-        // Raw scores S = Q K^T (pre-scaling, matching Eq. 5's target).
-        s_raw_[h] = matmulBT(qh, kh);
-
         Matrix mask;
         if (hook_) {
             hook_->observeQK(layer_, h, qh, kh);
             mask = hook_->selectMask(layer_, h, causal_);
         }
-        if (mask.empty() && causal_)
+        const bool hook_mask = !mask.empty();
+        if (!hook_mask && causal_)
             mask = causalMask(n);
         masks_[h] = mask;
+
+        if (may_sparsify && hook_mask) {
+            sparse_forward_ = true;
+            addHeadSlice(z_,
+                         sparseMaskedAttention(qh, kh, vh,
+                                               SparseMask::fromDense(mask),
+                                               inv_sqrt_dk),
+                         h);
+            continue; // s_raw_[h]/a_[h] stay empty; observeScores skipped
+        }
+
+        // Raw scores S = Q K^T (pre-scaling, matching Eq. 5's target).
+        s_raw_[h] = matmulBT(qh, kh);
 
         const Matrix scaled = scale(s_raw_[h], inv_sqrt_dk);
         a_[h] = mask.empty() ? rowSoftmax(scaled)
@@ -102,6 +127,10 @@ Matrix
 MultiHeadAttention::backward(const Matrix &dy)
 {
     DOTA_ASSERT(!x_.empty(), "backward before forward");
+    DOTA_ASSERT(!sparse_forward_,
+                "backward after a sparse inference forward: the sparse "
+                "path does not cache S/A (training hooks must return "
+                "wantsFullScores() == true)");
     const size_t n = x_.rows();
     const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 

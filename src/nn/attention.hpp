@@ -41,8 +41,19 @@ class MultiHeadAttention : public Module
     /** Forward over (n x d); returns (n x d). */
     Matrix forward(const Matrix &x);
 
-    /** Backward; returns dL/dx. */
+    /** Backward; returns dL/dx. Invalid after a sparse forward. */
     Matrix backward(const Matrix &dy);
+
+    /**
+     * Force the dense per-head computation even when the installed hook
+     * permits the sparse path (wantsFullScores() == false). Measurement
+     * code that reads lastScores()/lastAttention() — detection-quality
+     * metrics, score-distribution probes — sets this around its forwards.
+     */
+    void setForceDense(bool force) { force_dense_ = force; }
+
+    /** True when the last forward ran any head through the sparse path. */
+    bool lastForwardSparse() const { return sparse_forward_; }
 
     void collectParams(std::vector<Parameter *> &out) override;
 
@@ -50,10 +61,16 @@ class MultiHeadAttention : public Module
     size_t headDim() const { return head_dim_; }
     bool causal() const { return causal_; }
 
-    /** Attention-probability matrices from the last forward, per head. */
+    /**
+     * Attention-probability matrices from the last forward, per head.
+     * Empty for heads that took the sparse inference path.
+     */
     const std::vector<Matrix> &lastAttention() const { return a_; }
 
-    /** Raw score matrices S = QK^T from the last forward, per head. */
+    /**
+     * Raw score matrices S = QK^T from the last forward, per head.
+     * Empty for heads that took the sparse inference path.
+     */
     const std::vector<Matrix> &lastScores() const { return s_raw_; }
 
     /** Masks applied in the last forward (empty matrices when dense). */
@@ -77,6 +94,8 @@ class MultiHeadAttention : public Module
     bool causal_;
     Parameter wq_, wk_, wv_, wo_;
     AttentionHook *hook_ = nullptr;
+    bool force_dense_ = false;
+    bool sparse_forward_ = false;
 
     // Cached activations for backward.
     Matrix x_, q_, k_, v_, z_;

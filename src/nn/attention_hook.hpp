@@ -66,6 +66,19 @@ class AttentionHook
                                const Matrix &s_true) = 0;
 
     /**
+     * Whether this hook needs the full dense score matrix every forward.
+     * When a hook returns false and selectMask() produced a mask, the
+     * attention layer is free to take the sparse inference path: scores
+     * are computed only at kept coordinates (tensor/sparse_ops.hpp),
+     * observeScores() is skipped, and lastScores()/lastAttention() stay
+     * empty for that head. This is the software analogue of the
+     * accelerator's omission stage — work the detector rules out is never
+     * issued. Hooks that maintain a training-time estimation loss (or
+     * otherwise inspect S) must return true. Default: true (conservative).
+     */
+    virtual bool wantsFullScores() const { return true; }
+
+    /**
      * Gradient of the hook's auxiliary loss w.r.t. the true raw scores S
      * of this head (already weighted by lambda), or an empty matrix when
      * the hook is not training. Consumed by the attention backward.

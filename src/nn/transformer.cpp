@@ -56,6 +56,13 @@ TransformerClassifier::setHook(AttentionHook *hook)
         blk->attention().setHook(hook);
 }
 
+void
+TransformerClassifier::setForceDense(bool force)
+{
+    for (auto &blk : blocks_)
+        blk->attention().setForceDense(force);
+}
+
 bool
 TransformerClassifier::hasHook() const
 {
@@ -136,6 +143,13 @@ CausalLM::setHook(AttentionHook *hook)
 {
     for (auto &blk : blocks_)
         blk->attention().setHook(hook);
+}
+
+void
+CausalLM::setForceDense(bool force)
+{
+    for (auto &blk : blocks_)
+        blk->attention().setForceDense(force);
 }
 
 bool

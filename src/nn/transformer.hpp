@@ -53,6 +53,13 @@ class TransformerClassifier : public Module
     void setHook(AttentionHook *hook);
 
     /**
+     * Force dense attention in every block (see
+     * MultiHeadAttention::setForceDense): measurement code that reads
+     * lastScores()/lastAttention() sets this around its forwards.
+     */
+    void setForceDense(bool force);
+
+    /**
      * True when any block carries an attention hook. Hooked models are
      * not replicable for batch parallelism (the hook is installed on this
      * instance only), so the trainer falls back to serial batches.
@@ -96,6 +103,9 @@ class CausalLM : public Module
     double lmLoss(const std::vector<int> &ids, bool train);
 
     void setHook(AttentionHook *hook);
+
+    /** Force dense attention in every block (see above). */
+    void setForceDense(bool force);
 
     /** True when any block carries an attention hook (see above). */
     bool hasHook() const;

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * AVX2/FMA instantiation of the micro-kernel table. This translation
+ * unit is the only one compiled with -mavx2 -mfma (CMake option
+ * DOTA_SIMD); it is entered only after a runtime cpuid check, so the
+ * rest of the binary stays runnable on any x86-64.
+ *
+ * Every kernel honors the per-element reduction contracts of
+ * gemm_kernels.hpp, which makes the outputs bit-identical to the
+ * portable table:
+ *
+ *  - broadcast-FMA kernels put adjacent output *columns* in vector
+ *    lanes and run the p-fold in ascending order with vfmadd, exactly
+ *    the fold std::fma performs per element in the portable path;
+ *  - dot-family kernels keep one YMM accumulator (the 8-way lane
+ *    split), reduce it with the canonical extract/movehl/shuffle
+ *    horizontal sum — the pairwise order the contract fixes — and fold
+ *    the scalar tail last.
+ *
+ * The GEMM driver is cache-blocked and register-tiled: output tiles of
+ * 4 rows x 16 columns (8 YMM accumulators) are computed per k-sweep,
+ * and the j-panel loop is outermost so the 16-column panel of B stays
+ * L1-resident while A streams. See DESIGN.md §11 for the measured
+ * throughput.
+ */
+#include "tensor/gemm_kernels.hpp"
+
+#include <cmath>
+#include <immintrin.h>
+#include <type_traits>
+
+namespace dota {
+namespace detail {
+namespace {
+
+/** Contract-fixed horizontal sum: (l0+l4 + l2+l6) + (l1+l5 + l3+l7). */
+inline float
+hsum8(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    const __m128 q = _mm_add_ps(lo, hi); // s_l = lane[l] + lane[l+4]
+    const __m128 h = _mm_add_ps(q, _mm_movehl_ps(q, q)); // s0+s2, s1+s3
+    const __m128 t = _mm_add_ss(h, _mm_shuffle_ps(h, h, 0x55));
+    return _mm_cvtss_f32(t);
+}
+
+float
+dotAvx2(const float *x, const float *y, size_t k)
+{
+    __m256 acc = _mm256_setzero_ps();
+    const size_t kb = k - k % 8;
+    for (size_t p = 0; p < kb; p += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + p),
+                              _mm256_loadu_ps(y + p), acc);
+    float r = hsum8(acc);
+    for (size_t p = kb; p < k; ++p)
+        r = std::fma(x[p], y[p], r);
+    return r;
+}
+
+/**
+ * Four dot products sharing the query vector loads: out[c] =
+ * dot(x, y[c]) with the exact same per-element sequence as dotAvx2.
+ */
+inline void
+dot4Avx2(const float *x, const float *const y[4], size_t k, float *out)
+{
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    const size_t kb = k - k % 8;
+    for (size_t p = 0; p < kb; p += 8) {
+        const __m256 xv = _mm256_loadu_ps(x + p);
+        a0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y[0] + p), a0);
+        a1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y[1] + p), a1);
+        a2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y[2] + p), a2);
+        a3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(y[3] + p), a3);
+    }
+    out[0] = hsum8(a0);
+    out[1] = hsum8(a1);
+    out[2] = hsum8(a2);
+    out[3] = hsum8(a3);
+    for (size_t p = kb; p < k; ++p) {
+        out[0] = std::fma(x[p], y[0][p], out[0]);
+        out[1] = std::fma(x[p], y[1][p], out[1]);
+        out[2] = std::fma(x[p], y[2][p], out[2]);
+        out[3] = std::fma(x[p], y[3][p], out[3]);
+    }
+}
+
+/**
+ * MR x 16 register tile of the broadcast-FMA GEMM. The A element for
+ * output row r at reduction step p sits at a[r * ra + p * pa]: ra=lda,
+ * pa=1 expresses C = A*B; ra=1, pa=lda expresses C = A^T*B.
+ */
+template <int MR>
+inline void
+micro16(const float *a, size_t ra, size_t pa, const float *b, size_t ldb,
+        float *c, size_t ldc, size_t k)
+{
+    __m256 acc[MR][2];
+    for (int r = 0; r < MR; ++r)
+        acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+    for (size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * ldb;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (int r = 0; r < MR; ++r) {
+            const __m256 av = _mm256_set1_ps(a[r * ra + p * pa]);
+            acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+    }
+    for (int r = 0; r < MR; ++r) {
+        _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+        _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+    }
+}
+
+/** MR x 8 edge tile (single-vector column panel). */
+template <int MR>
+inline void
+micro8(const float *a, size_t ra, size_t pa, const float *b, size_t ldb,
+       float *c, size_t ldc, size_t k)
+{
+    __m256 acc[MR];
+    for (int r = 0; r < MR; ++r)
+        acc[r] = _mm256_setzero_ps();
+    for (size_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * ldb);
+        for (int r = 0; r < MR; ++r)
+            acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(a[r * ra + p * pa]),
+                                     bv, acc[r]);
+    }
+    for (int r = 0; r < MR; ++r)
+        _mm256_storeu_ps(c + r * ldc, acc[r]);
+}
+
+/**
+ * Shared broadcast-FMA GEMM driver over output rows [i0, i1). The
+ * 16-wide j-panel loop is outermost so B's panel stays hot in L1 while
+ * the i loop streams A; scalar tail columns replay the identical
+ * per-element fold with std::fma (compiled to vfmadd in this TU).
+ */
+void
+gemmBroadcastRows(const float *a, size_t ra, size_t pa, const Matrix &b,
+                  Matrix &c, size_t i0, size_t i1, size_t k)
+{
+    const size_t n = b.cols();
+    const size_t ldb = n, ldc = n;
+    const float *bd = b.data();
+    float *cd = c.data();
+    const size_t n16 = n - n % 16;
+    const size_t n8 = n - n % 8;
+
+    auto rowTiles = [&](auto &&tile, size_t j0) {
+        size_t i = i0;
+        for (; i + 4 <= i1; i += 4)
+            tile(std::integral_constant<int, 4>{}, i, j0);
+        switch (i1 - i) {
+        case 3:
+            tile(std::integral_constant<int, 3>{}, i, j0);
+            break;
+        case 2:
+            tile(std::integral_constant<int, 2>{}, i, j0);
+            break;
+        case 1:
+            tile(std::integral_constant<int, 1>{}, i, j0);
+            break;
+        default:
+            break;
+        }
+    };
+
+    for (size_t j0 = 0; j0 < n16; j0 += 16)
+        rowTiles(
+            [&](auto mr, size_t i, size_t j) {
+                micro16<decltype(mr)::value>(a + i * ra, ra, pa, bd + j,
+                                             ldb, cd + i * ldc + j, ldc,
+                                             k);
+            },
+            j0);
+    if (n8 > n16)
+        rowTiles(
+            [&](auto mr, size_t i, size_t j) {
+                micro8<decltype(mr)::value>(a + i * ra, ra, pa, bd + j,
+                                            ldb, cd + i * ldc + j, ldc,
+                                            k);
+            },
+            n16);
+    // Scalar tail columns: same ascending-p fold per element.
+    for (size_t i = i0; i < i1; ++i) {
+        float *crow = cd + i * ldc;
+        const float *ai = a + i * ra;
+        for (size_t j = n8; j < n; ++j) {
+            float acc = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                acc = std::fma(ai[p * pa], bd[p * ldb + j], acc);
+            crow[j] = acc;
+        }
+    }
+}
+
+void
+matmulRowsAvx2(const Matrix &a, const Matrix &b, Matrix &c, size_t i0,
+               size_t i1)
+{
+    gemmBroadcastRows(a.data(), a.cols(), 1, b, c, i0, i1, a.cols());
+}
+
+void
+matmulATRowsAvx2(const Matrix &a, const Matrix &b, Matrix &c, size_t i0,
+                 size_t i1)
+{
+    gemmBroadcastRows(a.data(), 1, a.cols(), b, c, i0, i1, a.rows());
+}
+
+void
+matmulBTRowsAvx2(const Matrix &a, const Matrix &b, Matrix &c, size_t i0,
+                 size_t i1)
+{
+    const size_t k = a.cols(), n = b.rows();
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const float *rows[4] = {b.row(j), b.row(j + 1), b.row(j + 2),
+                                    b.row(j + 3)};
+            dot4Avx2(arow, rows, k, crow + j);
+        }
+        for (; j < n; ++j)
+            crow[j] = dotAvx2(arow, b.row(j), k);
+    }
+}
+
+void
+sparseScoreRowAvx2(const float *q, const Matrix &keys,
+                   const uint32_t *cols, size_t nnz, float *out)
+{
+    const size_t k = keys.cols();
+    size_t t = 0;
+    for (; t + 4 <= nnz; t += 4) {
+        const float *rows[4] = {keys.row(cols[t]), keys.row(cols[t + 1]),
+                                keys.row(cols[t + 2]),
+                                keys.row(cols[t + 3])};
+        dot4Avx2(q, rows, k, out + t);
+    }
+    for (; t < nnz; ++t)
+        out[t] = dotAvx2(q, keys.row(cols[t]), k);
+}
+
+void
+sparseAvRowAvx2(const float *vals, const uint32_t *cols, size_t nnz,
+                const Matrix &v, float *out)
+{
+    const size_t d = v.cols();
+    const size_t ldv = d;
+    const float *vd = v.data();
+    size_t c0 = 0;
+    // 64-column register panel: the whole output slice lives in 8 YMM
+    // accumulators across the t-fold, so V rows are touched once each.
+    for (; c0 + 64 <= d; c0 += 64) {
+        __m256 acc[8];
+        for (int u = 0; u < 8; ++u)
+            acc[u] = _mm256_setzero_ps();
+        for (size_t t = 0; t < nnz; ++t) {
+            const __m256 av = _mm256_set1_ps(vals[t]);
+            const float *vrow = vd + cols[t] * ldv + c0;
+            for (int u = 0; u < 8; ++u)
+                acc[u] = _mm256_fmadd_ps(
+                    av, _mm256_loadu_ps(vrow + 8 * u), acc[u]);
+        }
+        for (int u = 0; u < 8; ++u)
+            _mm256_storeu_ps(out + c0 + 8 * u, acc[u]);
+    }
+    for (; c0 + 8 <= d; c0 += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        for (size_t t = 0; t < nnz; ++t)
+            acc = _mm256_fmadd_ps(
+                _mm256_set1_ps(vals[t]),
+                _mm256_loadu_ps(vd + cols[t] * ldv + c0), acc);
+        _mm256_storeu_ps(out + c0, acc);
+    }
+    for (; c0 < d; ++c0) {
+        float acc = 0.0f;
+        for (size_t t = 0; t < nnz; ++t)
+            acc = std::fma(vals[t], vd[cols[t] * ldv + c0], acc);
+        out[c0] = acc;
+    }
+}
+
+} // namespace
+
+const GemmKernelTable &
+avx2GemmKernels()
+{
+    static const GemmKernelTable table = {
+        matmulRowsAvx2,   matmulATRowsAvx2, matmulBTRowsAvx2,
+        dotAvx2,          sparseScoreRowAvx2, sparseAvRowAvx2,
+    };
+    return table;
+}
+
+} // namespace detail
+} // namespace dota

@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "common/thread_pool.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace dota {
 
@@ -16,16 +17,25 @@ namespace {
 
 /**
  * Below this many MACs a GEMM stays serial: the fork/join cost of
- * parallelFor outweighs the arithmetic. 2^18 puts the 64^3 layer-sized
- * products right at the boundary and every attention-sized product above
- * it.
+ * parallelFor outweighs the arithmetic. Re-derived for the vectorized
+ * kernels (the scalar kernels that set the old 2^18 boundary retired
+ * ~1.6 GMAC/s single-thread; the AVX2/FMA kernels measure ~8-13 GMAC/s
+ * via bench_kernels, an ~8x faster inner loop), so the crossover moves
+ * up by the same factor: 2^21 MACs is ~250 us of serial work on the
+ * reference box — still ~25x the measured fork/join cost — and keeps
+ * the 64^3 layer-sized products (2^18) comfortably serial while every
+ * 512-token attention product (>= 2^24) stays parallel.
  */
-constexpr uint64_t kParallelMacThreshold = 1ull << 18;
+constexpr uint64_t kParallelMacThreshold = 1ull << 21;
 
 /**
  * Row-block grain: ~4 chunks per thread so dynamic chunk claiming evens
- * out load without creating per-row scheduling overhead. Each output row
- * is written by exactly one chunk, so results are bit-identical for every
+ * out load without creating per-row scheduling overhead. Re-checked for
+ * the vectorized kernels: at the new threshold the smallest parallel
+ * GEMM (128^3) still gives each of the 4 chunks/thread >= 4 rows of
+ * ~16k MACs each (~2 us), two orders of magnitude above the per-chunk
+ * claim cost, so the policy carries over unchanged. Each output row is
+ * written by exactly one chunk, so results are bit-identical for every
  * thread count (the determinism contract in common/thread_pool.hpp).
  */
 size_t
@@ -37,6 +47,21 @@ gemmGrain(size_t rows)
 
 } // namespace
 
+uint64_t
+gemmParallelMacThreshold()
+{
+    return kParallelMacThreshold;
+}
+
+/*
+ * The three GEMMs route through the ISA-dispatched micro-kernel tables
+ * (tensor/gemm_kernels.hpp). The dense inner loops deliberately do NOT
+ * skip zero multiplicands: the old `av == 0.0f` shortcut silently
+ * turned 0 * Inf/NaN into 0 instead of NaN and put an unpredictable
+ * branch in the hot loop. Sparsity now lives in the Level-2 kernels
+ * (tensor/sparse_ops.hpp), which skip *coordinates*, not values.
+ */
+
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
@@ -44,19 +69,9 @@ matmul(const Matrix &a, const Matrix &b)
                 b.shapeStr());
     const size_t m = a.rows(), k = a.cols(), n = b.cols();
     Matrix c(m, n);
-    // ikj loop order: streams over B rows, keeps C row hot.
+    const auto &kt = activeGemmKernels();
     auto rowBlock = [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-            float *crow = c.row(i);
-            for (size_t p = 0; p < k; ++p) {
-                const float av = a(i, p);
-                if (av == 0.0f)
-                    continue;
-                const float *brow = b.row(p);
-                for (size_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
+        kt.matmulRows(a, b, c, i0, i1);
     };
     if (gemmMacs(m, k, n) < kParallelMacThreshold)
         rowBlock(0, m);
@@ -72,18 +87,9 @@ matmulBT(const Matrix &a, const Matrix &b)
                 b.shapeStr());
     const size_t m = a.rows(), k = a.cols(), n = b.rows();
     Matrix c(m, n);
+    const auto &kt = activeGemmKernels();
     auto rowBlock = [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-            const float *arow = a.row(i);
-            float *crow = c.row(i);
-            for (size_t j = 0; j < n; ++j) {
-                const float *brow = b.row(j);
-                float acc = 0.0f;
-                for (size_t p = 0; p < k; ++p)
-                    acc += arow[p] * brow[p];
-                crow[j] = acc;
-            }
-        }
+        kt.matmulBTRows(a, b, c, i0, i1);
     };
     if (gemmMacs(m, k, n) < kParallelMacThreshold)
         rowBlock(0, m);
@@ -99,22 +105,9 @@ matmulAT(const Matrix &a, const Matrix &b)
                 b.shapeStr());
     const size_t m = a.cols(), k = a.rows(), n = b.cols();
     Matrix c(m, n);
-    // Output-row partitioning (i outer). Per element the reduction still
-    // runs over p in ascending order, so values match the historical
-    // p-outer formulation bit-for-bit while rows stay independently
-    // writable.
+    const auto &kt = activeGemmKernels();
     auto rowBlock = [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-            float *crow = c.row(i);
-            for (size_t p = 0; p < k; ++p) {
-                const float av = a(p, i);
-                if (av == 0.0f)
-                    continue;
-                const float *brow = b.row(p);
-                for (size_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
+        kt.matmulATRows(a, b, c, i0, i1);
     };
     if (gemmMacs(m, k, n) < kParallelMacThreshold)
         rowBlock(0, m);

@@ -7,9 +7,12 @@
  * model call into. Each kernel corresponds to an operation the DOTA
  * hardware executes, so cycle/energy models reference these names.
  *
- * The three GEMM kernels are row-block parallel above a size threshold
+ * The three GEMM kernels dispatch to ISA-specific micro-kernels
+ * (tensor/gemm_kernels.hpp — AVX2/FMA with a portable fallback, both
+ * honoring the same per-element reduction contracts so the paths are
+ * bit-identical) and are row-block parallel above a size threshold
  * (common/thread_pool.hpp, DOTA_THREADS): each output row is produced by
- * exactly one thread with an unchanged inner reduction order, so results
+ * exactly one thread with a fixed per-element reduction order, so results
  * are bit-identical to serial execution for every thread count.
  */
 #pragma once
@@ -109,5 +112,12 @@ double mse(const Matrix &a, const Matrix &b);
 
 /** Number of multiply-accumulate ops of matmul (m x k)*(k x n). */
 uint64_t gemmMacs(size_t m, size_t k, size_t n);
+
+/**
+ * MAC count below which a GEMM-shaped kernel runs serially (the
+ * measured fork/join crossover; see ops.cpp). Shared with the sparse
+ * attention kernels so both layers parallelize consistently.
+ */
+uint64_t gemmParallelMacThreshold();
 
 } // namespace dota

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Implementation of the SIMD dispatch policy.
+ */
+#include "tensor/simd.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace dota {
+
+namespace {
+
+bool
+cpuHasAvx2Fma()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+SimdIsa
+resolveIsa()
+{
+    const SimdIsa best =
+        simdIsaSupported(SimdIsa::Avx2) ? SimdIsa::Avx2 : SimdIsa::Portable;
+    const std::string v = envString("DOTA_SIMD", "auto");
+    if (v.empty() || v == "auto")
+        return best;
+    if (v == "portable" || v == "off" || v == "scalar" || v == "0")
+        return SimdIsa::Portable;
+    if (v == "avx2") {
+        if (simdIsaSupported(SimdIsa::Avx2))
+            return SimdIsa::Avx2;
+        std::fprintf(stderr,
+                     "dota: DOTA_SIMD=avx2 requested but AVX2/FMA is %s; "
+                     "falling back to the portable kernels\n",
+                     simdIsaCompiled(SimdIsa::Avx2)
+                         ? "not supported by this CPU"
+                         : "not compiled into this binary");
+        return SimdIsa::Portable;
+    }
+    std::fprintf(stderr,
+                 "dota: unknown DOTA_SIMD value '%s' "
+                 "(expected auto|portable|avx2); using auto\n",
+                 v.c_str());
+    return best;
+}
+
+} // namespace
+
+const char *
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Avx2:
+        return "avx2";
+    case SimdIsa::Portable:
+        break;
+    }
+    return "portable";
+}
+
+bool
+simdIsaCompiled(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Avx2:
+#ifdef DOTA_SIMD_AVX2
+        return true;
+#else
+        return false;
+#endif
+    case SimdIsa::Portable:
+        break;
+    }
+    return true;
+}
+
+bool
+simdIsaSupported(SimdIsa isa)
+{
+    if (!simdIsaCompiled(isa))
+        return false;
+    return isa == SimdIsa::Portable || cpuHasAvx2Fma();
+}
+
+SimdIsa
+activeSimdIsa()
+{
+    static const SimdIsa isa = resolveIsa();
+    return isa;
+}
+
+} // namespace dota

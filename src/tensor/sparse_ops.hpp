@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Level-2 sparsity-aware attention kernels (DESIGN.md §11).
+ *
+ * The dense path of MultiHeadAttention computes the full n x n score
+ * matrix, masks most of it away, and then multiplies the mostly-zero
+ * probability matrix densely against V — paying quadratic cost for work
+ * the detector already decided to omit. These kernels realize the
+ * omission as *skipped computation*, mirroring the accelerator's
+ * omission stage: scores, softmax and the A*V product are evaluated
+ * only at the coordinates a SparseMask keeps, so FLOPs and wall-clock
+ * scale with the retention ratio (paper Figure 3).
+ *
+ * Numerics: every kernel replays the dense masked computation's exact
+ * per-element operation order (see gemm_kernels.hpp for the reduction
+ * contracts), so kept entries are bit-identical to the dense masked
+ * path and results are bit-identical across SIMD/portable kernels and
+ * every DOTA_THREADS value.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/sparse_mask.hpp"
+
+namespace dota {
+
+/**
+ * CSR matrix over a SparseMask's structure: row r's values live at
+ * val[row_ptr[r] .. row_ptr[r+1]) and belong to key columns
+ * col[row_ptr[r] .. row_ptr[r+1]) (ascending within a row).
+ */
+struct CsrMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<uint32_t> row_ptr; ///< rows + 1 offsets into col/val
+    std::vector<uint32_t> col;     ///< kept column ids, row-major CSR
+    std::vector<float> val;        ///< one value per kept coordinate
+
+    size_t nnz() const { return col.size(); }
+
+    /** Dense expansion with zeros at omitted coordinates (tests/small n). */
+    Matrix toDense() const;
+};
+
+/** CSR skeleton of @p mask with all values zero. */
+CsrMatrix csrFromMask(const SparseMask &mask);
+
+/**
+ * Sparse raw-score kernel: S[r][c] = dot(A row r, B row c) evaluated
+ * only at the coordinates @p mask keeps (A = queries n x k, B = keys
+ * m x k, mask n x m). Kept entries are bit-identical to
+ * matmulBT(a, b) at the same coordinates.
+ */
+CsrMatrix sparseRowsMatmulBT(const Matrix &a, const Matrix &b,
+                             const SparseMask &mask);
+
+/**
+ * Masked softmax over CSR scores: per row, values are first scaled by
+ * @p scale (one rounding, mirroring scale() in the dense path), then
+ * soft-maxed over the kept entries exactly as rowSoftmaxMasked does
+ * (max subtraction, float exp, double-accumulated denominator). Rows
+ * with no kept entries stay empty — the dense path's all-zero row.
+ */
+CsrMatrix maskedSoftmax(const CsrMatrix &s, float scale);
+
+/**
+ * Sparse probability-times-values kernel: out = A_sparse * V where A is
+ * CSR (n x m) and V is dense (m x d). Each output element folds only
+ * the kept coordinates of its row, in ascending column order — the
+ * dense matmul fold with the omitted (exactly zero) terms skipped.
+ */
+Matrix sparseRowsMatmul(const CsrMatrix &a, const Matrix &v);
+
+/**
+ * One attention head through the sparse path:
+ * softmax(scale * (Q K^T restricted to mask)) * V. Composition of the
+ * three kernels above; returns the n x d context matrix.
+ */
+Matrix sparseMaskedAttention(const Matrix &q, const Matrix &k,
+                             const Matrix &v, const SparseMask &mask,
+                             float scale);
+
+} // namespace dota

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.hpp"
 
@@ -189,6 +190,30 @@ TEST(Ops, Mse)
 TEST(Ops, GemmMacs)
 {
     EXPECT_EQ(gemmMacs(2, 3, 4), 24u);
+}
+
+TEST(Ops, MatmulPropagatesNonFiniteOperands)
+{
+    // Regression: the scalar kernels used to skip zero multiplicands,
+    // silently turning 0 * Inf (= NaN per IEEE 754) into 0. The
+    // vectorized kernels must propagate non-finite values faithfully.
+    const float inf = std::numeric_limits<float>::infinity();
+    const Matrix a(1, 2, std::vector<float>{0.0f, 1.0f});
+    const Matrix b(2, 2, std::vector<float>{inf, 2.0f, 3.0f, 4.0f});
+
+    const Matrix c = matmul(a, b); // c00 = 0*Inf + 1*3 -> NaN
+    EXPECT_TRUE(std::isnan(c(0, 0)));
+    EXPECT_FLOAT_EQ(c(0, 1), 4.0f);
+
+    // Same contract for the A^T variant (and its zero-skip removal).
+    const Matrix at(2, 1, std::vector<float>{0.0f, 1.0f});
+    const Matrix cat = matmulAT(at, b); // c00 = 0*Inf + 1*3 -> NaN
+    EXPECT_TRUE(std::isnan(cat(0, 0)));
+
+    // NaN inputs survive every variant.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const Matrix an(1, 2, std::vector<float>{nan, 1.0f});
+    EXPECT_TRUE(std::isnan(matmulBT(an, Matrix(1, 2, 1.0f))(0, 0)));
 }
 
 } // namespace

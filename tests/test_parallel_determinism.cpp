@@ -6,12 +6,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "device/fleet.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/sparse_mask.hpp"
+#include "tensor/sparse_ops.hpp"
+#include "tensor/topk.hpp"
 #include "workloads/trainer.hpp"
 
 namespace dota {
@@ -294,6 +298,26 @@ TEST(ParallelDeterminism, RepeatedParallelRunsAreStable)
         EXPECT_EQ(a.first[s], b.first[s]);
     for (size_t i = 0; i < a.second.size(); ++i)
         EXPECT_TRUE(bitIdentical(a.second[i], b.second[i]));
+}
+
+TEST(ParallelDeterminism, SparseAttentionBitIdentical)
+{
+    // The Level-2 sparse attention kernels (tensor/sparse_ops.hpp) use
+    // the same one-chunk-per-output-row parallelization as the dense
+    // GEMMs; a sequence long enough to cross the MAC threshold must be
+    // bit-identical at DOTA_THREADS=1 and 8.
+    const size_t n = 384, d = 64;
+    Rng rng(2077);
+    const Matrix q = Matrix::randomNormal(n, d, rng);
+    const Matrix k = Matrix::randomNormal(n, d, rng);
+    const Matrix v = Matrix::randomNormal(n, d, rng);
+    const Matrix proxy = Matrix::randomNormal(n, n, rng);
+    const SparseMask mask = SparseMask::fromDense(topkMask(proxy, n / 4));
+    const float sc = 1.0f / std::sqrt(static_cast<float>(d));
+
+    auto [serial, parallel] = atBothThreadCounts(
+        [&] { return sparseMaskedAttention(q, k, v, mask, sc); });
+    EXPECT_TRUE(bitIdentical(serial, parallel));
 }
 
 } // namespace
