@@ -19,6 +19,14 @@
  *            [--fault-plan SPEC] [--timeout-ms T] [--retries R]
  *            [--deadline-ms D] [--queue-limit N]
  *
+ * Autoregressive generation mode (src/serve/engine.hpp): serve a seeded
+ * GenRequest trace with continuous batching over a paged KV cache and
+ * DOTA-guided eviction, reporting TTFT/TPOT tails and KV occupancy:
+ *   dota_cli --generate [--accelerators N] [--arrival-rate R]
+ *            [--requests N] [--arrival-seed S] [--out-min N]
+ *            [--out-max N] [--kv-budget-mb M] [--page-tokens N]
+ *            [--max-batch N] [--step-tokens N] [--no-evict] [--no-topk]
+ *
  * Crash-safe training mode (src/train/): train a benchmark's tiny proxy
  * model with atomic checksummed checkpoints; kill it at any step and
  * rerun with --resume to continue bit-identically:
@@ -68,6 +76,12 @@ struct CliOptions
     std::string fault_plan;
     uint64_t fault_seed = 1;
     ServePolicy policy;
+    // --generate mode
+    bool generate = false;
+    size_t out_min = 16;
+    size_t out_max = 256;
+    BatchPolicy batch;
+    KvPolicy kv;
     // --train mode
     bool train = false;
     size_t train_steps = 40;
@@ -95,6 +109,14 @@ usage()
         "                [--fault-plan SPEC] [--timeout-ms T]\n"
         "                [--retries R] [--deadline-ms D] "
         "[--queue-limit N]\n"
+        "       dota_cli --generate [--accelerators N] "
+        "[--arrival-rate R]\n"
+        "                [--requests N] [--arrival-seed S] "
+        "[--out-min N]\n"
+        "                [--out-max N] [--kv-budget-mb M] "
+        "[--page-tokens N]\n"
+        "                [--max-batch N] [--step-tokens N] "
+        "[--no-evict] [--no-topk]\n"
         "       dota_cli --train [--benchmark B] [--steps N] "
         "[--batch N]\n"
         "                [--train-seed S] [--checkpoint-dir D]\n"
@@ -197,6 +219,24 @@ parse(int argc, char **argv)
             opt.arrivals.deadline_ms = std::stod(need(i));
         } else if (arg == "--queue-limit") {
             opt.policy.queue_limit = std::stoul(need(i));
+        } else if (arg == "--generate") {
+            opt.generate = true;
+        } else if (arg == "--out-min") {
+            opt.out_min = std::stoul(need(i));
+        } else if (arg == "--out-max") {
+            opt.out_max = std::stoul(need(i));
+        } else if (arg == "--kv-budget-mb") {
+            opt.kv.budget_bytes = std::stoul(need(i)) << 20;
+        } else if (arg == "--page-tokens") {
+            opt.kv.page_tokens = std::stoul(need(i));
+        } else if (arg == "--max-batch") {
+            opt.batch.max_batch_seqs = std::stoul(need(i));
+        } else if (arg == "--step-tokens") {
+            opt.batch.max_step_tokens = std::stoul(need(i));
+        } else if (arg == "--no-evict") {
+            opt.kv.evict_after_prefill = false;
+        } else if (arg == "--no-topk") {
+            opt.kv.dynamic_topk = false;
         } else if (arg == "--train") {
             opt.train = true;
         } else if (arg == "--steps") {
@@ -297,6 +337,51 @@ runServe(const CliOptions &opt)
     return 0;
 }
 
+/** --generate: serve a seeded GenRequest trace with the engine. */
+int
+runGenerate(const CliOptions &opt)
+{
+    const Benchmark &bench = benchmarkByName(opt.benchmark);
+    EngineConfig ec;
+    DeviceSpec spec;
+    spec.key = deviceKey(opt);
+    spec.count = opt.accelerators;
+    ec.devices = {spec};
+    ec.policy = opt.policy;
+    ec.batch = opt.batch;
+    ec.kv = opt.kv;
+    GenTraceConfig tc;
+    tc.arrivals = opt.arrivals;
+    tc.out_min = opt.out_min;
+    tc.out_max = opt.out_max;
+    if (tc.out_min > tc.out_max) {
+        std::cerr << "error: --out-min must be <= --out-max\n";
+        std::exit(2);
+    }
+    const GenTrace trace = generateGenTrace(tc);
+    GenerationEngine engine(ec, bench);
+    std::cout << "generating for " << trace.requests.size() << " "
+              << bench.name << " prompts ("
+              << arrivalProcessName(opt.arrivals.process) << " "
+              << fmtNum(opt.arrivals.rate_per_s, 1)
+              << " req/s, arrival seed " << opt.arrivals.seed << ", "
+              << trace.totalOutputTokens() << " output tokens) on "
+              << engine.size() << "x " << spec.key << " ("
+              << fmtBytes(double(ec.kv.budget_bytes))
+              << " KV budget/device, " << engine.bytesPerToken()
+              << " B/token)\n\n";
+    const ServeReport rep = engine.run(trace);
+    rep.print(std::cout);
+    // Plain grep-friendly summary line (CI smoke asserts on it).
+    std::cout << "TTFT p50=" << fmtNum(rep.gen.ttft_p50_ms, 2)
+              << "ms p95=" << fmtNum(rep.gen.ttft_p95_ms, 2)
+              << "ms p99=" << fmtNum(rep.gen.ttft_p99_ms, 2)
+              << "ms | TPOT p50=" << fmtNum(rep.gen.tpot_p50_ms, 3)
+              << "ms | KV peak " << rep.gen.kv_peak_pages << "/"
+              << rep.gen.kv_pages_total << " pages\n";
+    return 0;
+}
+
 /**
  * --train: crash-safe training of the benchmark's tiny proxy model.
  * The final loss is printed as a hex float (%a) so two runs can be
@@ -393,6 +478,8 @@ main(int argc, char **argv)
     }
     if (opt.serve)
         return runServe(opt);
+    if (opt.generate)
+        return runGenerate(opt);
     if (opt.train)
         return runTrain(opt);
     const Benchmark &bench = benchmarkByName(opt.benchmark);

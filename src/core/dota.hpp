@@ -49,7 +49,9 @@
 #include "nn/serialize.hpp"
 #include "sched/dataflow.hpp"
 #include "serve/dispatcher.hpp"
+#include "serve/engine.hpp"
 #include "serve/fault.hpp"
+#include "serve/kv_cache.hpp"
 #include "serve/report.hpp"
 #include "serve/simulator.hpp"
 #include "serve/trace.hpp"

@@ -4,6 +4,7 @@
  */
 #include "nn/decode.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/topk.hpp"
@@ -18,6 +19,7 @@ KvCache::append(const Matrix &k_row, const Matrix &v_row)
     if (k.empty()) {
         k = k_row;
         v = v_row;
+        mass.assign(1, 0.0);
         return;
     }
     Matrix nk(k.rows() + 1, k.cols());
@@ -30,6 +32,74 @@ KvCache::append(const Matrix &k_row, const Matrix &v_row)
               nv.row(v.rows()));
     k = std::move(nk);
     v = std::move(nv);
+    mass.push_back(0.0);
+}
+
+size_t
+evictWeak(KvCache &cache, size_t keep)
+{
+    const size_t t = cache.length();
+    DOTA_ASSERT(cache.mass.size() == t,
+                "attention-mass telemetry out of sync with cache");
+    if (keep >= t || t == 0)
+        return 0;
+    DOTA_ASSERT(keep >= 1, "eviction must keep at least one entry");
+
+    // Survivors: the `keep` highest-mass positions, older position
+    // winning ties, compacted back in original (causal) order.
+    std::vector<size_t> order(t);
+    for (size_t i = 0; i < t; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (cache.mass[a] != cache.mass[b])
+            return cache.mass[a] > cache.mass[b];
+        return a < b;
+    });
+    order.resize(keep);
+    std::sort(order.begin(), order.end());
+
+    Matrix nk(keep, cache.k.cols());
+    Matrix nv(keep, cache.v.cols());
+    std::vector<double> nm(keep);
+    for (size_t i = 0; i < keep; ++i) {
+        const size_t src = order[i];
+        std::copy(cache.k.row(src), cache.k.row(src) + cache.k.cols(),
+                  nk.row(i));
+        std::copy(cache.v.row(src), cache.v.row(src) + cache.v.cols(),
+                  nv.row(i));
+        nm[i] = cache.mass[src];
+    }
+    cache.k = std::move(nk);
+    cache.v = std::move(nv);
+    cache.mass = std::move(nm);
+    return t - keep;
+}
+
+size_t
+evictWeak(DecodeState &state, double keep_fraction)
+{
+    DOTA_ASSERT(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                "keep_fraction must be in (0, 1]");
+    size_t evicted = 0;
+    for (KvCache &cache : state.layers) {
+        const size_t t = cache.length();
+        if (t == 0)
+            continue;
+        const size_t keep = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::ceil(keep_fraction * static_cast<double>(t))));
+        evicted += evictWeak(cache, keep);
+    }
+    return evicted;
+}
+
+size_t
+kvBytes(const DecodeState &state)
+{
+    size_t bytes = 0;
+    for (const KvCache &cache : state.layers)
+        bytes += cache.bytes();
+    return bytes;
 }
 
 namespace {
@@ -74,6 +144,7 @@ attentionStep(MultiHeadAttention &attn, const Matrix &x_row,
             const float w = probs(0, j);
             if (w == 0.0f)
                 continue;
+            cache.mass[j] += w; // detector signal for evictWeak()
             const float *vr = cache.v.row(j) + off;
             for (size_t c = 0; c < dh; ++c)
                 z(0, off + c) += w * vr[c];

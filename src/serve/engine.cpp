@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Continuous-batching generation engine implementation.
+ *
+ * One serial virtual-time event loop (arrival and step-completion
+ * events, push-order tie-break) drives a per-device iteration loop:
+ * every step decodes one token for each running sequence and admits
+ * queued prompts for prefill under three budgets — batch slots, step
+ * tokens, and KV pages. All service costs come from the ServingSimulator
+ * cost cache (warmed in parallel with a fixed-order merge), so the
+ * report is bit-identical at every DOTA_THREADS.
+ */
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+namespace {
+
+/** Probe lengths of the linear per-token decode-cost calibration. */
+constexpr size_t kProbeLo = 128;
+constexpr size_t kProbeHi = 1024;
+
+ServeConfig
+toServeConfig(const EngineConfig &cfg)
+{
+    ServeConfig sc;
+    sc.devices = cfg.devices;
+    sc.accelerators = cfg.accelerators;
+    sc.mode = cfg.mode;
+    sc.options = cfg.options;
+    sc.policy = cfg.policy;
+    return sc;
+}
+
+} // namespace
+
+GenerationEngine::GenerationEngine(EngineConfig cfg,
+                                   const Benchmark &bench)
+    : cfg_(std::move(cfg)), sim_(toServeConfig(cfg_), bench)
+{
+    DOTA_ASSERT(cfg_.batch.max_batch_seqs >= 1,
+                "batch needs at least one sequence slot");
+    DOTA_ASSERT(cfg_.batch.max_step_tokens >= 1,
+                "step token budget must be positive");
+    DOTA_ASSERT(cfg_.kv.evict_retention > 0.0 &&
+                    cfg_.kv.evict_retention <= 1.0,
+                "evict_retention must be in (0, 1]");
+    DOTA_ASSERT(cfg_.kv.topk_retention > 0.0 &&
+                    cfg_.kv.topk_retention <= 1.0,
+                "topk_retention must be in (0, 1]");
+    const ModelShape &shape = bench.paper_shape;
+    bytes_per_token_ =
+        cfg_.kv.bytes_per_token > 0
+            ? cfg_.kv.bytes_per_token
+            : 2 * shape.layers * shape.dim * sizeof(float);
+}
+
+double
+GenerationEngine::prefillMs(size_t accel, size_t level,
+                            size_t prompt_len) const
+{
+    return sim_.serviceMs(accel, level, prompt_len);
+}
+
+double
+GenerationEngine::decodeTokenMs(size_t accel, size_t level,
+                                size_t attended) const
+{
+    // Per-token cost of a full pass grows linearly with the attended
+    // context (attention is the quadratic term); fit through the two
+    // probe lengths and extrapolate.
+    const double lo =
+        sim_.serviceMs(accel, level, kProbeLo) / double(kProbeLo);
+    const double hi =
+        sim_.serviceMs(accel, level, kProbeHi) / double(kProbeHi);
+    const double slope = (hi - lo) / double(kProbeHi - kProbeLo);
+    const double ms =
+        lo + slope * (double(attended) - double(kProbeLo));
+    return std::max(ms, 1e-6);
+}
+
+bool
+GenerationEngine::slotHasDetector(size_t accel) const
+{
+    return sim_.ladderDepth(accel) > 1 || sim_.retention(accel, 0) < 1.0;
+}
+
+double
+GenerationEngine::evictKeepFraction(size_t accel, size_t level) const
+{
+    if (!cfg_.kv.evict_after_prefill || !slotHasDetector(accel))
+        return 1.0;
+    return std::min(cfg_.kv.evict_retention,
+                    sim_.retention(accel, level));
+}
+
+double
+GenerationEngine::topkFraction(size_t accel, size_t level) const
+{
+    if (!cfg_.kv.dynamic_topk || !slotHasDetector(accel))
+        return 1.0;
+    return std::min(cfg_.kv.topk_retention,
+                    sim_.retention(accel, level));
+}
+
+void
+GenerationEngine::warm(const GenTrace &trace) const
+{
+    std::vector<size_t> lens = trace.distinctPromptLengths();
+    lens.push_back(kProbeLo);
+    lens.push_back(kProbeHi);
+    sim_.warmCostCache(lens);
+}
+
+namespace {
+
+enum class GenEventType { Arrival, Step };
+
+struct GenEvent
+{
+    double t = 0.0;
+    uint64_t seq = 0; ///< push order; the deterministic tie-break
+    GenEventType type = GenEventType::Arrival;
+    size_t id = 0;     // Arrival: request id
+    size_t device = 0; // Step
+};
+
+struct GenEventLater
+{
+    bool
+    operator()(const GenEvent &a, const GenEvent &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+/** One sequence resident on a device (prefilling or decoding). */
+struct Running
+{
+    size_t id = 0;
+    bool prefill = true;    ///< this step runs the prompt, not a token
+    size_t level = 0;       ///< ladder level fixed at admission
+    size_t kv_tokens = 0;   ///< KV entries currently held
+    size_t generated = 0;   ///< output tokens emitted so far
+    double first_token_ms = 0.0;
+    double dispatch_ms = 0.0; ///< latest prefill start
+};
+
+/** Runtime state of one device. */
+struct DevGen
+{
+    bool busy = false;
+    double step_start = 0.0;
+    std::vector<Running> running;
+    std::unique_ptr<PagedKvAllocator> alloc;
+};
+
+} // namespace
+
+ServeReport
+GenerationEngine::run(const GenTrace &trace) const
+{
+    const size_t n = sim_.size();
+    const BatchPolicy &bp = cfg_.batch;
+    ServeReport rep;
+    rep.requests = trace.requests.size();
+    size_t max_ladder = 1;
+    for (size_t a = 0; a < n; ++a)
+        max_ladder = std::max(max_ladder, sim_.ladderDepth(a));
+    rep.completed_by_level.assign(max_ladder, 0);
+    rep.devices.resize(n);
+    for (size_t a = 0; a < n; ++a)
+        rep.devices[a].name = sim_.deviceName(a, 0);
+    rep.outcomes.resize(rep.requests);
+
+    // Requests indexed by id (ids are dense by construction).
+    std::vector<const GenRequest *> reqs(rep.requests, nullptr);
+    for (const GenRequest &r : trace.requests) {
+        DOTA_ASSERT(r.id < rep.requests && reqs[r.id] == nullptr,
+                    "GenTrace ids must be dense and unique");
+        DOTA_ASSERT(r.output_len >= 1,
+                    "generation request needs output_len >= 1");
+        reqs[r.id] = &r;
+        RequestOutcome &out = rep.outcomes[r.id];
+        out.id = r.id;
+        out.arrival_ms = r.arrival_ms;
+        out.seq_len = r.prompt_len;
+        out.status = RequestStatus::ShedStarved;
+    }
+
+    warm(trace);
+
+    KvCacheConfig kc;
+    kc.page_tokens = cfg_.kv.page_tokens;
+    kc.bytes_per_token = bytes_per_token_;
+    kc.budget_bytes = cfg_.kv.budget_bytes;
+    std::vector<DevGen> dev(n);
+    for (DevGen &d : dev)
+        d.alloc = std::make_unique<PagedKvAllocator>(kc);
+
+    GenMetrics &gen = rep.gen;
+    gen.enabled = true;
+    gen.kv_page_tokens = kc.page_tokens;
+    gen.kv_pages_total = n * dev[0].alloc->totalPages();
+    gen.kv_budget_bytes = n * kc.budget_bytes;
+
+    RobustDispatcher disp(cfg_.policy, n);
+    std::vector<size_t> preemptions_of(rep.requests, 0);
+    std::vector<size_t> queued_at_step(rep.requests, 0);
+
+    std::priority_queue<GenEvent, std::vector<GenEvent>, GenEventLater>
+        heap;
+    uint64_t seq = 0;
+    auto push = [&](GenEvent ev) {
+        ev.seq = seq++;
+        heap.push(std::move(ev));
+    };
+    for (const GenRequest &r : trace.requests) {
+        GenEvent ev;
+        ev.t = r.arrival_ms;
+        ev.type = GenEventType::Arrival;
+        ev.id = r.id;
+        push(std::move(ev));
+    }
+
+    double horizon = 0.0;
+    std::vector<double> latencies, ttfts, tpots;
+    double retention_sum = 0.0;
+
+    auto samplePeak = [&] {
+        size_t pages = 0;
+        for (const DevGen &d : dev)
+            pages += d.alloc->usedPages();
+        if (pages > gen.kv_peak_pages) {
+            gen.kv_peak_pages = pages;
+            gen.kv_peak_bytes = pages * dev[0].alloc->pageBytes();
+        }
+    };
+
+    /** Terminal failure of @p id (KV infeasible / preempt-exhausted). */
+    auto failRequest = [&](size_t id, double now, bool oom) {
+        RequestOutcome &out = rep.outcomes[id];
+        out.status = RequestStatus::Failed;
+        out.finish_ms = now;
+        out.attempts = 1 + preemptions_of[id];
+        ++rep.failed;
+        if (oom)
+            ++gen.kv_ooms;
+    };
+
+    /**
+     * Preempt the running sequence at @p vi of device @p a: release its
+     * pages and either re-queue it (it restarts from prefill, keyed by
+     * its original arrival so FIFO order is preserved) or fail it once
+     * it exhausts the preemption budget.
+     */
+    auto preempt = [&](size_t a, size_t vi, double now) {
+        DevGen &d = dev[a];
+        const Running victim = d.running[vi];
+        d.alloc->freeSeq(victim.id);
+        d.running.erase(d.running.begin() +
+                        static_cast<ptrdiff_t>(vi));
+        ++gen.preemptions;
+        ++preemptions_of[victim.id];
+        const GenRequest &req = *reqs[victim.id];
+        if (preemptions_of[victim.id] > bp.max_preemptions) {
+            failRequest(victim.id, now, false);
+            return;
+        }
+        QueuedJob job;
+        job.req = Request{req.id, req.arrival_ms, req.prompt_len,
+                          req.deadline_ms};
+        job.attempts = preemptions_of[victim.id];
+        disp.admit(job, /*forced=*/true);
+        queued_at_step[victim.id] = gen.steps;
+        rep.outcomes[victim.id].status = RequestStatus::ShedStarved;
+    };
+
+    /** Dynamic-top-k context size of one decode token. */
+    auto attendedOf = [&](size_t a, size_t level, size_t kv_tokens) {
+        const double frac = topkFraction(a, level);
+        if (frac >= 1.0)
+            return kv_tokens;
+        return std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::ceil(frac * double(kv_tokens))));
+    };
+
+    /** Form and launch the next step of device @p a, if any. */
+    auto formStep = [&](size_t a, double now) {
+        DevGen &d = dev[a];
+        if (d.busy)
+            return;
+        size_t used_tokens = d.running.size(); // one per decode
+        const size_t level_now =
+            disp.degradeLevel(disp.queueDepth(), n);
+        // Strict-FIFO admission: the head is never skipped, so no
+        // queued request can starve while others are admitted.
+        for (;;) {
+            std::optional<QueuedJob> head = disp.peek();
+            if (!head)
+                break;
+            const size_t id = head->req.id;
+            const size_t prompt = head->req.seq_len;
+            if (prompt > bp.max_step_tokens ||
+                !d.alloc->feasible(prompt + 1)) {
+                // Deterministic fail-fast: this prompt can never be
+                // scheduled (step budget or an empty arena too small),
+                // and holding the FIFO head would starve the queue.
+                disp.pop();
+                failRequest(id, now, true);
+                continue;
+            }
+            if (d.running.size() >= bp.max_batch_seqs)
+                break;
+            if (used_tokens + prompt > bp.max_step_tokens)
+                break;
+            if (!d.alloc->canFit(prompt))
+                break; // wait for pages to free up
+            disp.pop();
+            const bool created = d.alloc->createSeq(id);
+            DOTA_ASSERT(created, "sequence {} already resident", id);
+            const bool ok = d.alloc->appendTokens(id, prompt);
+            DOTA_ASSERT(ok, "prefill allocation failed after canFit");
+            Running r;
+            r.id = id;
+            r.prefill = true;
+            r.level = std::min(level_now, sim_.ladderDepth(a) - 1);
+            r.kv_tokens = prompt;
+            r.dispatch_ms = now;
+            d.running.push_back(r);
+            used_tokens += prompt;
+            const size_t wait = gen.steps - queued_at_step[id];
+            gen.max_queue_wait_steps =
+                std::max(gen.max_queue_wait_steps, wait);
+            if (bp.starve_step_budget > 0) {
+                DOTA_ASSERT(wait <= bp.starve_step_budget,
+                            "request {} starved {} steps (budget {})",
+                            id, wait, bp.starve_step_budget);
+            }
+            RequestOutcome &out = rep.outcomes[id];
+            out.dispatch_ms = now;
+            out.attempts = 1 + preemptions_of[id];
+        }
+        if (d.running.empty())
+            return;
+        double dur = bp.step_overhead_ms;
+        for (const Running &r : d.running) {
+            if (r.prefill)
+                dur += prefillMs(a, r.level, r.kv_tokens);
+            else
+                dur += decodeTokenMs(
+                    a, r.level, attendedOf(a, r.level, r.kv_tokens));
+        }
+        d.busy = true;
+        d.step_start = now;
+        GenEvent ev;
+        ev.t = now + dur;
+        ev.type = GenEventType::Step;
+        ev.device = a;
+        push(std::move(ev));
+        samplePeak();
+    };
+
+    auto formAll = [&](double now) {
+        for (size_t a = 0; a < n; ++a)
+            formStep(a, now);
+    };
+
+    while (!heap.empty()) {
+        const GenEvent ev = heap.top();
+        heap.pop();
+        const double now = ev.t;
+        horizon = std::max(horizon, now);
+        switch (ev.type) {
+          case GenEventType::Arrival: {
+            const GenRequest &req = *reqs[ev.id];
+            QueuedJob job;
+            job.req = Request{req.id, req.arrival_ms, req.prompt_len,
+                              req.deadline_ms};
+            if (!disp.admit(job, /*forced=*/false)) {
+                RequestOutcome &out = rep.outcomes[req.id];
+                out.status = RequestStatus::ShedQueueFull;
+                out.finish_ms = now;
+                ++rep.shed_queue_full;
+            } else {
+                queued_at_step[req.id] = gen.steps;
+            }
+            formAll(now);
+            break;
+          }
+          case GenEventType::Step: {
+            DevGen &d = dev[ev.device];
+            const size_t a = ev.device;
+            d.busy = false;
+            rep.devices[a].busy_ms += now - d.step_start;
+            ++gen.steps;
+            bool any_prefill = false, any_decode = false;
+
+            // 1. Token bookkeeping: prefills emit their first output
+            //    token and run the DOTA eviction pass; decodes emit
+            //    one token each.
+            for (Running &r : d.running) {
+                if (r.prefill) {
+                    any_prefill = true;
+                    gen.prefill_tokens += r.kv_tokens;
+                    r.first_token_ms = now;
+                    r.generated = 1;
+                    const double frac = evictKeepFraction(a, r.level);
+                    const size_t keep = std::max<size_t>(
+                        1, static_cast<size_t>(std::ceil(
+                               frac * double(r.kv_tokens))));
+                    if (keep < r.kv_tokens) {
+                        d.alloc->shrinkTo(r.id, keep);
+                        gen.evicted_tokens += r.kv_tokens - keep;
+                        ++gen.evictions;
+                        r.kv_tokens = keep;
+                    }
+                    r.prefill = false;
+                } else {
+                    any_decode = true;
+                    ++gen.decode_tokens;
+                    ++r.generated;
+                }
+            }
+            gen.prefill_steps += any_prefill ? 1 : 0;
+            gen.decode_steps += any_decode ? 1 : 0;
+
+            // 2. Completions: emit outcomes, free KV.
+            for (size_t i = 0; i < d.running.size();) {
+                Running &r = d.running[i];
+                const GenRequest &req = *reqs[r.id];
+                if (r.generated < req.output_len) {
+                    ++i;
+                    continue;
+                }
+                RequestOutcome &out = rep.outcomes[r.id];
+                out.status = RequestStatus::Completed;
+                out.device = static_cast<int>(a);
+                out.dispatch_ms = r.dispatch_ms;
+                out.finish_ms = now;
+                out.attempts = 1 + preemptions_of[r.id];
+                out.level = r.level;
+                out.retention = sim_.retention(a, r.level);
+                out.generated = r.generated;
+                out.ttft_ms = r.first_token_ms - req.arrival_ms;
+                out.tpot_ms =
+                    req.output_len > 1
+                        ? (now - r.first_token_ms) /
+                              double(req.output_len - 1)
+                        : 0.0;
+                out.deadline_missed = now > req.deadline_ms;
+                if (out.deadline_missed)
+                    ++rep.deadline_misses;
+                ++rep.completed;
+                ++rep.completed_by_level[r.level];
+                ++rep.devices[a].completed;
+                retention_sum += out.retention;
+                gen.output_tokens += req.output_len;
+                latencies.push_back(now - req.arrival_ms);
+                ttfts.push_back(out.ttft_ms);
+                tpots.push_back(out.tpot_ms);
+                d.alloc->freeSeq(r.id);
+                d.running.erase(d.running.begin() +
+                                static_cast<ptrdiff_t>(i));
+            }
+
+            // 3. KV growth: the token emitted this step is appended for
+            //    the next one. On OOM, preempt the youngest resident
+            //    sequence (latest arrival, id tie-break) — the oldest
+            //    always makes progress, which is what bounds waiting.
+            for (size_t i = 0; i < d.running.size();) {
+                const size_t cur_id = d.running[i].id;
+                if (d.alloc->appendTokens(cur_id, 1)) {
+                    ++i;
+                    continue;
+                }
+                if (d.running.size() == 1) {
+                    // Alone and still over budget: retrying would
+                    // deterministically reproduce this OOM.
+                    d.alloc->freeSeq(cur_id);
+                    d.running.erase(d.running.begin());
+                    failRequest(cur_id, now, true);
+                    break;
+                }
+                size_t vi = 0;
+                for (size_t j = 1; j < d.running.size(); ++j) {
+                    const GenRequest &x = *reqs[d.running[j].id];
+                    const GenRequest &v = *reqs[d.running[vi].id];
+                    if (x.arrival_ms > v.arrival_ms ||
+                        (x.arrival_ms == v.arrival_ms &&
+                         x.id > v.id))
+                        vi = j;
+                }
+                const bool self = d.running[vi].id == cur_id;
+                preempt(a, vi, now);
+                if (self)
+                    continue; // current gone; i now names the next seq
+                if (vi < i)
+                    --i;
+                // Retry the append with the victim's pages freed.
+            }
+            samplePeak();
+            formAll(now);
+            break;
+          }
+        }
+    }
+
+    // The queue drains by construction (an idle device has an empty
+    // arena, and infeasible prompts fail fast at the head), but mirror
+    // the simulator's safety net so no request can ever be lost.
+    while (disp.queueDepth() > 0) {
+        const QueuedJob job = disp.pop();
+        RequestOutcome &out = rep.outcomes[job.req.id];
+        out.status = RequestStatus::ShedStarved;
+        out.finish_ms = horizon;
+        ++rep.shed_starved;
+    }
+
+    gen.kv_peak_occupancy =
+        gen.kv_pages_total > 0
+            ? double(gen.kv_peak_pages) / double(gen.kv_pages_total)
+            : 0.0;
+
+    std::sort(latencies.begin(), latencies.end());
+    std::sort(ttfts.begin(), ttfts.end());
+    std::sort(tpots.begin(), tpots.end());
+    rep.p50_ms = percentileSorted(latencies, 0.50);
+    rep.p95_ms = percentileSorted(latencies, 0.95);
+    rep.p99_ms = percentileSorted(latencies, 0.99);
+    gen.ttft_p50_ms = percentileSorted(ttfts, 0.50);
+    gen.ttft_p95_ms = percentileSorted(ttfts, 0.95);
+    gen.ttft_p99_ms = percentileSorted(ttfts, 0.99);
+    gen.tpot_p50_ms = percentileSorted(tpots, 0.50);
+    gen.tpot_p95_ms = percentileSorted(tpots, 0.95);
+    gen.tpot_p99_ms = percentileSorted(tpots, 0.99);
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (double l : latencies)
+            sum += l;
+        rep.mean_latency_ms =
+            sum / static_cast<double>(latencies.size());
+        rep.max_latency_ms = latencies.back();
+    }
+    rep.deadline_miss_rate =
+        rep.completed > 0 ? static_cast<double>(rep.deadline_misses) /
+                                static_cast<double>(rep.completed)
+                          : 0.0;
+    rep.horizon_ms = horizon;
+    rep.goodput_seq_s =
+        horizon > 0.0
+            ? static_cast<double>(rep.completed - rep.deadline_misses) /
+                  (horizon * 1e-3)
+            : 0.0;
+    rep.mean_retention =
+        rep.completed > 0
+            ? retention_sum / static_cast<double>(rep.completed)
+            : 0.0;
+    return rep;
+}
+
+} // namespace dota

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Autoregressive serving engine: continuous batching over a paged KV
+ * cache with DOTA-guided eviction (DESIGN.md §12).
+ *
+ * Where the ServingSimulator (simulator.hpp) dispatches whole
+ * independent requests, the GenerationEngine serves GenRequests at
+ * token grain: each device of the fleet runs an iteration loop that
+ * forms a fresh batch every step — continuing one decode token for
+ * every running sequence and admitting queued prompts for prefill when
+ * the batch-slot, step-token and KV-page budgets allow — so short
+ * requests never wait behind long ones (continuous batching in the
+ * Orca/vLLM sense, motivated by the prefill/decode phase split of
+ * "Demystifying BERT").
+ *
+ * The DOTA detector is repurposed as the KV-eviction policy, the
+ * RocketKV recipe at serving grain: after prefill, only the strongest
+ * `evict_retention` fraction of the prompt's KV entries is kept (weak
+ * attentions are omitted from memory, not just from compute), and each
+ * decode step attends to a dynamic top-k of the surviving entries. Both
+ * fractions are further tightened by the degradation ladder — under
+ * queue pressure deeper ladder levels now shrink KV footprints as well
+ * as service time. Only DOTA slots evict (a GPU slot has no detector).
+ *
+ * Determinism contract: one serial virtual-time event loop; service
+ * costs come from the device cost cache and a per-(group, level)
+ * linear per-token decode model calibrated from two probe lengths —
+ * both warmed in parallel with a fixed-order merge — so the ServeReport
+ * is bit-identical at every DOTA_THREADS.
+ */
+#pragma once
+
+#include "serve/kv_cache.hpp"
+#include "serve/simulator.hpp"
+
+namespace dota {
+
+/** Batch-formation knobs of the continuous-batching scheduler. */
+struct BatchPolicy
+{
+    /** Concurrent sequences one device may hold (batch slots). */
+    size_t max_batch_seqs = 8;
+
+    /**
+     * Token budget of one step: each decoding sequence costs one
+     * token, a prefill costs its whole prompt. Prompts longer than
+     * this can never be scheduled and fail deterministically.
+     */
+    size_t max_step_tokens = 8192;
+
+    /** Fixed per-step launch overhead (kernel dispatch, bookkeeping). */
+    double step_overhead_ms = 0.05;
+
+    /**
+     * Preemptions one sequence may survive before it fails (restart
+     * thrash guard). A sequence that OOMs alone on a device fails
+     * immediately — retrying deterministically reproduces the OOM.
+     */
+    size_t max_preemptions = 2;
+
+    /**
+     * Fairness bound: no queued request may wait more than this many
+     * engine steps before its prefill starts (0 disables the check).
+     * Admission is strict FIFO, so this asserts the no-starvation
+     * theorem rather than implementing a side channel around it.
+     */
+    size_t starve_step_budget = 0;
+};
+
+/** KV-cache sizing and the DOTA eviction policy. */
+struct KvPolicy
+{
+    /** Token slots per page. */
+    size_t page_tokens = 16;
+
+    /** Per-device KV byte budget. */
+    size_t budget_bytes = 256ull << 20;
+
+    /**
+     * Bytes of K+V state per token; 0 derives 2 * layers * dim * 4
+     * from the benchmark's paper shape.
+     */
+    size_t bytes_per_token = 0;
+
+    /**
+     * Post-prefill eviction: keep fraction of prompt KV entries at
+     * ladder level 0 (deeper levels use min(evict_retention, ladder
+     * retention)). 1.0 disables eviction.
+     */
+    double evict_retention = 0.5;
+
+    /**
+     * Dynamic top-k decode: fraction of the surviving KV entries each
+     * decode step attends to (same ladder tightening). 1.0 disables.
+     */
+    double topk_retention = 0.5;
+
+    bool evict_after_prefill = true;
+    bool dynamic_topk = true;
+};
+
+/** Fleet + policy of a generation deployment. */
+struct EngineConfig
+{
+    /** Same fleet description as ServeConfig. */
+    std::vector<DeviceSpec> devices;
+    size_t accelerators = 4;
+    DotaMode mode = DotaMode::Full;
+    DeviceOptions options = DeviceOptions::table2();
+
+    /** queue_limit and degrade_depth_* are honored; the retry/breaker
+     * knobs only apply to the fault-injecting ServingSimulator. */
+    ServePolicy policy;
+
+    BatchPolicy batch;
+    KvPolicy kv;
+};
+
+/** Token-grain autoregressive serving engine over a device fleet. */
+class GenerationEngine
+{
+  public:
+    GenerationEngine(EngineConfig cfg, const Benchmark &bench);
+
+    /**
+     * Serve @p trace to completion. Deterministic: same (config,
+     * trace) => bit-identical ServeReport at any thread count.
+     */
+    ServeReport run(const GenTrace &trace) const;
+
+    size_t size() const { return sim_.size(); }
+
+    /** KV bytes one token occupies (config override or model-derived). */
+    size_t bytesPerToken() const { return bytes_per_token_; }
+
+    /** Prefill cost of a @p prompt_len prompt on @p accel at @p level. */
+    double prefillMs(size_t accel, size_t level, size_t prompt_len) const;
+
+    /**
+     * Cost of one decode token attending to @p attended KV entries on
+     * @p accel at @p level (calibrated linear per-token model).
+     */
+    double decodeTokenMs(size_t accel, size_t level,
+                         size_t attended) const;
+
+    /** Whether slot @p accel carries a DOTA detector (can evict). */
+    bool slotHasDetector(size_t accel) const;
+
+    /** Effective KV keep fraction of slot @p accel at ladder @p level. */
+    double evictKeepFraction(size_t accel, size_t level) const;
+
+    /** Effective decode top-k fraction of @p accel at @p level. */
+    double topkFraction(size_t accel, size_t level) const;
+
+    /** Pre-warm every cost and calibration entry (parallel inside). */
+    void warm(const GenTrace &trace) const;
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /** The cost/ladder substrate (retention, device names, ...). */
+    const ServingSimulator &costModel() const { return sim_; }
+
+  private:
+    EngineConfig cfg_;
+    ServingSimulator sim_; ///< ladder variants + (group, level, len) costs
+    size_t bytes_per_token_ = 0;
+};
+
+} // namespace dota

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Paged KV-cache allocator implementation.
+ */
+#include "serve/kv_cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace dota {
+
+PagedKvAllocator::PagedKvAllocator(KvCacheConfig cfg) : cfg_(cfg)
+{
+    DOTA_ASSERT(cfg_.page_tokens >= 1, "page needs at least one token");
+    DOTA_ASSERT(cfg_.bytes_per_token >= 1,
+                "KV bytes per token must be positive");
+    total_pages_ = cfg_.budget_bytes / pageBytes();
+    DOTA_ASSERT(total_pages_ >= 1,
+                "KV budget {} B holds no page of {} B",
+                cfg_.budget_bytes, pageBytes());
+    for (size_t p = 0; p < total_pages_; ++p)
+        free_.insert(static_cast<uint32_t>(p));
+}
+
+bool
+PagedKvAllocator::canFit(size_t tokens) const
+{
+    return pagesFor(tokens) <= free_.size();
+}
+
+bool
+PagedKvAllocator::createSeq(uint64_t seq_id)
+{
+    return seqs_.emplace(seq_id, Seq{}).second;
+}
+
+uint32_t
+PagedKvAllocator::allocPage()
+{
+    DOTA_ASSERT(!free_.empty(), "allocPage on an exhausted arena");
+    const uint32_t page = *free_.begin(); // lowest id: deterministic
+    free_.erase(free_.begin());
+    return page;
+}
+
+void
+PagedKvAllocator::releasePage(uint32_t page)
+{
+    const bool inserted = free_.insert(page).second;
+    DOTA_ASSERT(inserted, "double free of KV page {}", page);
+}
+
+void
+PagedKvAllocator::notePeak()
+{
+    peak_used_pages_ = std::max(peak_used_pages_, usedPages());
+}
+
+bool
+PagedKvAllocator::appendTokens(uint64_t seq_id, size_t tokens)
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "appendTokens: unknown sequence {}",
+                seq_id);
+    Seq &seq = it->second;
+    const size_t want = pagesFor(seq.tokens + tokens);
+    DOTA_ASSERT(want >= seq.pages.size(),
+                "page table longer than its token count needs");
+    const size_t grow = want - seq.pages.size();
+    if (grow > free_.size())
+        return false; // all-or-nothing: nothing allocated on OOM
+    for (size_t p = 0; p < grow; ++p)
+        seq.pages.push_back(allocPage());
+    seq.tokens += tokens;
+    notePeak();
+    return true;
+}
+
+size_t
+PagedKvAllocator::shrinkTo(uint64_t seq_id, size_t tokens)
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "shrinkTo: unknown sequence {}",
+                seq_id);
+    Seq &seq = it->second;
+    if (tokens >= seq.tokens)
+        return 0;
+    const size_t keep_pages = pagesFor(tokens);
+    size_t freed = 0;
+    while (seq.pages.size() > keep_pages) {
+        releasePage(seq.pages.back());
+        seq.pages.pop_back();
+        ++freed;
+    }
+    seq.tokens = tokens;
+    return freed;
+}
+
+void
+PagedKvAllocator::freeSeq(uint64_t seq_id)
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "freeSeq: unknown sequence {}",
+                seq_id);
+    for (uint32_t page : it->second.pages)
+        releasePage(page);
+    seqs_.erase(it);
+}
+
+size_t
+PagedKvAllocator::seqTokens(uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "seqTokens: unknown sequence {}",
+                seq_id);
+    return it->second.tokens;
+}
+
+const std::vector<uint32_t> &
+PagedKvAllocator::pageTable(uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "pageTable: unknown sequence {}",
+                seq_id);
+    return it->second.pages;
+}
+
+std::pair<uint32_t, uint32_t>
+PagedKvAllocator::lookup(uint64_t seq_id, size_t index) const
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "lookup: unknown sequence {}",
+                seq_id);
+    DOTA_ASSERT(index < it->second.tokens,
+                "lookup index {} past sequence length {}", index,
+                it->second.tokens);
+    return {it->second.pages[index / cfg_.page_tokens],
+            static_cast<uint32_t>(index % cfg_.page_tokens)};
+}
+
+} // namespace dota

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Paged KV-cache allocator for the autoregressive serving engine.
+ *
+ * Generation workloads hold per-sequence key/value state that grows by
+ * one token per decode step and disappears when the sequence finishes —
+ * the classic fragmentation problem paged attention solves: KV memory
+ * is carved into fixed-size pages of `page_tokens` token slots, each
+ * sequence owns a page table (logical token index -> page), and pages
+ * return to a free list the moment a sequence finishes, is preempted,
+ * or has its weak entries evicted by the DOTA policy.
+ *
+ * Determinism contract (DESIGN.md §12): the free list is ordered — an
+ * allocation always takes the lowest-numbered free page — and every
+ * operation is all-or-nothing, so two runs that issue the same
+ * alloc/free/evict sequence see bit-identical page tables, occupancy
+ * counters and OOM points. Admission control is a pure arithmetic
+ * check (`canFit`), never a side effect.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dota {
+
+/** Sizing of one paged KV arena (one per serving device). */
+struct KvCacheConfig
+{
+    /** Token slots per page (the paging granularity). */
+    size_t page_tokens = 16;
+
+    /**
+     * Bytes of K+V state one token occupies across all layers
+     * (2 * layers * dim * sizeof(float) for an fp32 model).
+     */
+    size_t bytes_per_token = 4096;
+
+    /** Total KV byte budget of the arena. */
+    size_t budget_bytes = 64ull << 20;
+};
+
+/**
+ * Fixed-size-page KV allocator with per-sequence page tables.
+ *
+ * Logical model: a sequence holds `tokens` KV entries laid out densely
+ * across its page table; entry i lives in (table[i / page_tokens],
+ * i % page_tokens). Eviction compacts a sequence to its strongest
+ * prefix length (the caller reindexes which tokens survive), so
+ * `shrinkTo` simply truncates and frees whole trailing pages.
+ */
+class PagedKvAllocator
+{
+  public:
+    explicit PagedKvAllocator(KvCacheConfig cfg);
+
+    // Geometry ----------------------------------------------------------
+    size_t pageTokens() const { return cfg_.page_tokens; }
+    size_t pageBytes() const
+    {
+        return cfg_.page_tokens * cfg_.bytes_per_token;
+    }
+    size_t totalPages() const { return total_pages_; }
+    size_t freePages() const { return free_.size(); }
+    size_t usedPages() const { return total_pages_ - free_.size(); }
+    size_t usedBytes() const { return usedPages() * pageBytes(); }
+    size_t budgetBytes() const { return cfg_.budget_bytes; }
+
+    /** Pages needed to hold @p tokens KV entries. */
+    size_t pagesFor(size_t tokens) const
+    {
+        return (tokens + cfg_.page_tokens - 1) / cfg_.page_tokens;
+    }
+
+    /** Whether @p tokens KV entries could be appended right now. */
+    bool canFit(size_t tokens) const;
+
+    /** Whether @p tokens entries could ever fit in an empty arena. */
+    bool feasible(size_t tokens) const
+    {
+        return pagesFor(tokens) <= total_pages_;
+    }
+
+    // Sequence lifecycle ------------------------------------------------
+    /** Register an empty sequence. False when the id already exists. */
+    bool createSeq(uint64_t seq_id);
+
+    /**
+     * Grow @p seq_id by @p tokens KV entries, allocating pages as
+     * needed. All-or-nothing: returns false (and changes nothing) when
+     * the free list cannot cover the growth.
+     */
+    bool appendTokens(uint64_t seq_id, size_t tokens);
+
+    /**
+     * Evict/compact: truncate @p seq_id to its strongest @p tokens
+     * entries (caller guarantees the survivors were reindexed to the
+     * prefix). Frees whole trailing pages; returns pages freed.
+     * No-op when @p tokens >= the current length.
+     */
+    size_t shrinkTo(uint64_t seq_id, size_t tokens);
+
+    /** Release every page of @p seq_id and forget it. */
+    void freeSeq(uint64_t seq_id);
+
+    bool contains(uint64_t seq_id) const
+    {
+        return seqs_.count(seq_id) != 0;
+    }
+    size_t seqTokens(uint64_t seq_id) const;
+    const std::vector<uint32_t> &pageTable(uint64_t seq_id) const;
+
+    /** Physical (page, slot) of logical token @p index of @p seq_id. */
+    std::pair<uint32_t, uint32_t> lookup(uint64_t seq_id,
+                                         size_t index) const;
+
+    // Telemetry ---------------------------------------------------------
+    size_t peakUsedPages() const { return peak_used_pages_; }
+    size_t peakUsedBytes() const { return peak_used_pages_ * pageBytes(); }
+
+  private:
+    struct Seq
+    {
+        size_t tokens = 0;
+        std::vector<uint32_t> pages;
+    };
+
+    uint32_t allocPage();
+    void releasePage(uint32_t page);
+    void notePeak();
+
+    KvCacheConfig cfg_;
+    size_t total_pages_ = 0;
+    std::set<uint32_t> free_; ///< ordered: lowest page allocated first
+    std::map<uint64_t, Seq> seqs_;
+    size_t peak_used_pages_ = 0;
+};
+
+} // namespace dota

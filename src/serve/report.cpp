@@ -83,6 +83,40 @@ ServeReport::print(std::ostream &os) const
     t.addRow({"mean retention served", fmtNum(mean_retention, 3)});
     t.print(os);
 
+    if (gen.enabled) {
+        Table g("generation report");
+        g.header({"metric", "value"});
+        g.addRow({"TTFT p50/p95/p99",
+                  format("{} / {} / {} ms", fmtNum(gen.ttft_p50_ms, 2),
+                         fmtNum(gen.ttft_p95_ms, 2),
+                         fmtNum(gen.ttft_p99_ms, 2))});
+        g.addRow({"TPOT p50/p95/p99",
+                  format("{} / {} / {} ms", fmtNum(gen.tpot_p50_ms, 3),
+                         fmtNum(gen.tpot_p95_ms, 3),
+                         fmtNum(gen.tpot_p99_ms, 3))});
+        g.addRow({"steps (prefill/decode)",
+                  format("{} ({}/{})", gen.steps, gen.prefill_steps,
+                         gen.decode_steps)});
+        g.addRow({"tokens prefilled / decoded",
+                  format("{} / {}", gen.prefill_tokens,
+                         gen.decode_tokens)});
+        g.addRow({"output tokens", fmtNum(double(gen.output_tokens), 0)});
+        g.addRow({"KV peak",
+                  format("{} / {} pages ({})", gen.kv_peak_pages,
+                         gen.kv_pages_total,
+                         fmtBytes(double(gen.kv_peak_bytes)))});
+        g.addRow({"KV peak occupancy", fmtPct(gen.kv_peak_occupancy)});
+        g.addRow({"KV page size",
+                  format("{} tokens", gen.kv_page_tokens)});
+        g.addRow({"evictions (tokens dropped)",
+                  format("{} ({})", gen.evictions, gen.evicted_tokens)});
+        g.addRow({"preemptions / KV OOM failures",
+                  format("{} / {}", gen.preemptions, gen.kv_ooms)});
+        g.addRow({"max queue wait",
+                  format("{} steps", gen.max_queue_wait_steps)});
+        g.print(os);
+    }
+
     Table d("per-device health");
     d.header({"device", "model", "busy", "served", "failed attempts",
               "breaker trips", "downtime"});

@@ -48,6 +48,11 @@ struct RequestOutcome
     size_t level = 0;         ///< degradation ladder level served at
     double retention = 0.0;   ///< accuracy proxy actually served
     bool deadline_missed = false;
+
+    // Generation-engine fields (zero for whole-request serving runs).
+    size_t generated = 0;     ///< output tokens actually emitted
+    double ttft_ms = 0.0;     ///< arrival -> first output token
+    double tpot_ms = 0.0;     ///< mean time per subsequent output token
 };
 
 /** Health timeline of one device over the run. */
@@ -61,6 +66,50 @@ struct DeviceServeStats
     /** Fail-stop downtime intervals [down, up); up = horizon when the
      * device never revived. */
     std::vector<std::pair<double, double>> down_intervals;
+};
+
+/**
+ * Token-level telemetry of a GenerationEngine run: time-to-first-token
+ * and time-per-output-token tails, paged KV-cache occupancy, and the
+ * activity of the DOTA eviction / preemption machinery. All zero (with
+ * enabled == false) for whole-request ServingSimulator runs.
+ */
+struct GenMetrics
+{
+    bool enabled = false;
+
+    // Phase activity.
+    size_t steps = 0;          ///< engine steps executed (all devices)
+    size_t prefill_steps = 0;  ///< steps containing >= 1 prefill
+    size_t decode_steps = 0;   ///< steps containing >= 1 decode token
+    size_t prefill_tokens = 0; ///< prompt tokens processed (incl. re-prefills)
+    size_t decode_tokens = 0;  ///< decode tokens processed
+    size_t output_tokens = 0;  ///< tokens emitted by completed requests
+
+    // Token-level latency tails over completed requests.
+    double ttft_p50_ms = 0.0;
+    double ttft_p95_ms = 0.0;
+    double ttft_p99_ms = 0.0;
+    double tpot_p50_ms = 0.0;
+    double tpot_p95_ms = 0.0;
+    double tpot_p99_ms = 0.0;
+
+    // Paged KV cache (fleet-wide; pages_total sums every device arena).
+    size_t kv_page_tokens = 0;
+    size_t kv_pages_total = 0;
+    size_t kv_budget_bytes = 0;   ///< sum of per-device budgets
+    size_t kv_peak_pages = 0;     ///< peak concurrent pages in use
+    size_t kv_peak_bytes = 0;     ///< peak concurrent KV bytes in use
+    double kv_peak_occupancy = 0.0; ///< kv_peak_pages / kv_pages_total
+
+    // DOTA-guided eviction + admission-control activity.
+    size_t evictions = 0;      ///< post-prefill eviction passes
+    size_t evicted_tokens = 0; ///< KV entries dropped by eviction
+    size_t preemptions = 0;    ///< sequences evicted whole under OOM
+    size_t kv_ooms = 0;        ///< requests failed: KV demand infeasible
+
+    // Fairness telemetry: longest queue wait in engine steps.
+    size_t max_queue_wait_steps = 0;
 };
 
 /** Outcome of one serving run. */
@@ -101,6 +150,9 @@ struct ServeReport
     // full-fidelity native mode) and the mean retention actually served.
     std::vector<size_t> completed_by_level;
     double mean_retention = 0.0;
+
+    /** Token-level generation telemetry (GenerationEngine runs only). */
+    GenMetrics gen;
 
     std::vector<DeviceServeStats> devices;
     std::vector<RequestOutcome> outcomes; ///< one per request, by id

@@ -74,19 +74,27 @@ rateAt(const TraceConfig &cfg, double t_s)
     DOTA_PANIC("unknown arrival process");
 }
 
+/** Heavy-tailed length in [lo_t, hi_t], rounded up to round_t tokens. */
+size_t
+drawTailLength(Rng &rng, size_t lo_t, size_t hi_t, size_t round_t,
+               double shape)
+{
+    const double u = rng.uniform();
+    const double lo = static_cast<double>(lo_t);
+    const double hi = static_cast<double>(hi_t);
+    const double len = lo * std::pow(hi / lo, std::pow(u, shape));
+    const size_t round = std::max<size_t>(1, round_t);
+    const size_t q =
+        ((static_cast<size_t>(len) + round - 1) / round) * round;
+    return std::clamp(q, lo_t, hi_t);
+}
+
 /** Heavy-tailed request length (serving_fleet's request-mix shape). */
 size_t
 drawLength(const TraceConfig &cfg, Rng &rng)
 {
-    const double u = rng.uniform();
-    const double lo = static_cast<double>(cfg.len_min);
-    const double hi = static_cast<double>(cfg.len_max);
-    const double len =
-        lo * std::pow(hi / lo, std::pow(u, cfg.len_shape));
-    const size_t round = std::max<size_t>(1, cfg.len_round);
-    const size_t q =
-        ((static_cast<size_t>(len) + round - 1) / round) * round;
-    return std::clamp(q, cfg.len_min, cfg.len_max);
+    return drawTailLength(rng, cfg.len_min, cfg.len_max, cfg.len_round,
+                          cfg.len_shape);
 }
 
 } // namespace
@@ -121,6 +129,59 @@ generateTrace(const TraceConfig &cfg)
                 ? req.arrival_ms + cfg.deadline_ms
                 : std::numeric_limits<double>::infinity();
         trace.requests.push_back(req);
+    }
+    return trace;
+}
+
+double
+GenTrace::horizonMs() const
+{
+    return requests.empty() ? 0.0 : requests.back().arrival_ms;
+}
+
+std::vector<size_t>
+GenTrace::distinctPromptLengths() const
+{
+    std::vector<size_t> lens;
+    lens.reserve(requests.size());
+    for (const GenRequest &r : requests)
+        lens.push_back(r.prompt_len);
+    std::sort(lens.begin(), lens.end());
+    lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+    return lens;
+}
+
+size_t
+GenTrace::totalOutputTokens() const
+{
+    size_t total = 0;
+    for (const GenRequest &r : requests)
+        total += r.output_len;
+    return total;
+}
+
+GenTrace
+generateGenTrace(const GenTraceConfig &cfg)
+{
+    DOTA_ASSERT(cfg.out_min >= 1 && cfg.out_min <= cfg.out_max,
+                "output length bounds must satisfy 1 <= min <= max");
+    const RequestTrace base = generateTrace(cfg.arrivals);
+    GenTrace trace;
+    trace.config = cfg;
+    trace.requests.reserve(base.requests.size());
+    // Output lengths come from a stream forked off the arrival seed, so
+    // changing the output distribution never perturbs the arrivals.
+    Rng out_rng(Rng(cfg.arrivals.seed ^ 0xd07a6e57a7e5ULL).next());
+    for (const Request &req : base.requests) {
+        GenRequest gen;
+        gen.id = req.id;
+        gen.arrival_ms = req.arrival_ms;
+        gen.prompt_len = req.seq_len;
+        gen.output_len = drawTailLength(out_rng, cfg.out_min,
+                                        cfg.out_max, cfg.out_round,
+                                        cfg.out_shape);
+        gen.deadline_ms = req.deadline_ms;
+        trace.requests.push_back(gen);
     }
     return trace;
 }

@@ -81,4 +81,59 @@ struct RequestTrace
 /** Generate the trace described by @p cfg (deterministic in cfg). */
 RequestTrace generateTrace(const TraceConfig &cfg);
 
+// ------------------------------------------------------------ generation
+
+/**
+ * One autoregressive generation request: a prompt to prefill, then
+ * `output_len` tokens to decode one by one (the GenerationEngine's
+ * token-level counterpart of Request's whole-sequence grain).
+ */
+struct GenRequest
+{
+    size_t id = 0;           ///< dense index, also the tie-break key
+    double arrival_ms = 0.0; ///< virtual arrival time
+    size_t prompt_len = 0;   ///< tokens to prefill
+    size_t output_len = 0;   ///< tokens to generate (>= 1)
+    /** Absolute completion deadline; infinity when the trace has none. */
+    double deadline_ms = 0.0;
+};
+
+/**
+ * Knobs of the generation-trace generator. Arrival process and prompt
+ * lengths reuse TraceConfig (len_* describe the prompt); output lengths
+ * are drawn from an independent stream forked off the same seed with
+ * the same heavy-tailed shape, so a GenTrace stays a pure function of
+ * its config.
+ */
+struct GenTraceConfig
+{
+    TraceConfig arrivals; ///< process, rate, seed, prompt lengths
+
+    // Output lengths: heavy-tailed in [out_min, out_max], rounded up
+    // to out_round tokens.
+    size_t out_min = 16;
+    size_t out_max = 256;
+    size_t out_round = 8;
+    double out_shape = 1.5; ///< tail exponent; higher = more short outputs
+};
+
+/** A generated arrival trace of generation requests (sorted by time). */
+struct GenTrace
+{
+    GenTraceConfig config;
+    std::vector<GenRequest> requests;
+
+    /** Arrival time of the last request (0 for an empty trace). */
+    double horizonMs() const;
+
+    /** Distinct prompt lengths, sorted (for cost-cache warming). */
+    std::vector<size_t> distinctPromptLengths() const;
+
+    /** Sum of output_len over all requests. */
+    size_t totalOutputTokens() const;
+};
+
+/** Generate the generation trace described by @p cfg. */
+GenTrace generateGenTrace(const GenTraceConfig &cfg);
+
 } // namespace dota

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden-trace regression for the generation engine: one fixed
+ * (config, GenTrace) pair is served and the headline ServeReport
+ * fields — TTFT/TPOT percentiles, eviction counters, KV high-water
+ * marks, step and token counts — are pinned bit-exactly against
+ * tests/data/golden_generation.txt, at DOTA_THREADS=1 and 8.
+ *
+ * Regenerate (after an intentional engine/cost-model change) with:
+ *   DOTA_REGEN_GOLDEN=1 ./dota_serve_tests \
+ *       --gtest_filter='GenerationGolden.*'
+ * and commit the rewritten tests/data/golden_generation.txt.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "serve/engine.hpp"
+#include "serve_test_util.hpp"
+
+namespace dota {
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(DOTA_TEST_DATA_DIR) + "/golden_generation.txt";
+}
+
+ServeReport
+goldenRun()
+{
+    GenTraceConfig tc = test::smallGenTrace(48, 400.0, 71);
+    EngineConfig ec = test::smallEngine(3);
+    ec.policy.degrade_depth_1 = 3.0; // make the ladder participate
+    ec.policy.degrade_depth_2 = 6.0;
+    const GenerationEngine engine(ec, benchmark(BenchmarkId::Text));
+    return engine.run(generateGenTrace(tc));
+}
+
+/**
+ * The pinned fields, in a fixed serialization order. Doubles render as
+ * C99 hex floats so the round trip is bit-exact; counters as decimals.
+ */
+std::vector<std::pair<std::string, std::string>>
+pinnedFields(const ServeReport &rep)
+{
+    auto hex = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%a", v);
+        return std::string(buf);
+    };
+    auto num = [](size_t v) { return std::to_string(v); };
+    const GenMetrics &g = rep.gen;
+    return {
+        {"completed", num(rep.completed)},
+        {"failed", num(rep.failed)},
+        {"shed", num(rep.shed())},
+        {"latency_p50_ms", hex(rep.p50_ms)},
+        {"latency_p99_ms", hex(rep.p99_ms)},
+        {"ttft_p50_ms", hex(g.ttft_p50_ms)},
+        {"ttft_p95_ms", hex(g.ttft_p95_ms)},
+        {"ttft_p99_ms", hex(g.ttft_p99_ms)},
+        {"tpot_p50_ms", hex(g.tpot_p50_ms)},
+        {"tpot_p95_ms", hex(g.tpot_p95_ms)},
+        {"tpot_p99_ms", hex(g.tpot_p99_ms)},
+        {"steps", num(g.steps)},
+        {"prefill_steps", num(g.prefill_steps)},
+        {"decode_steps", num(g.decode_steps)},
+        {"prefill_tokens", num(g.prefill_tokens)},
+        {"decode_tokens", num(g.decode_tokens)},
+        {"output_tokens", num(g.output_tokens)},
+        {"kv_peak_pages", num(g.kv_peak_pages)},
+        {"kv_peak_bytes", num(g.kv_peak_bytes)},
+        {"evictions", num(g.evictions)},
+        {"evicted_tokens", num(g.evicted_tokens)},
+        {"preemptions", num(g.preemptions)},
+        {"kv_ooms", num(g.kv_ooms)},
+        {"max_queue_wait_steps", num(g.max_queue_wait_steps)},
+        {"horizon_ms", hex(rep.horizon_ms)},
+        {"mean_retention", hex(rep.mean_retention)},
+    };
+}
+
+std::map<std::string, std::string>
+readGolden()
+{
+    std::ifstream in(goldenPath());
+    std::map<std::string, std::string> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key, value;
+        if (ls >> key >> value)
+            out[key] = value;
+    }
+    return out;
+}
+
+void
+writeGolden(const std::vector<std::pair<std::string, std::string>> &kv)
+{
+    std::ofstream out(goldenPath());
+    out << "# GenerationEngine golden run (see "
+           "test_generation_golden.cpp):\n"
+        << "# 48 Text prompts, poisson 400 req/s seed 71, 3x DOTA-F,\n"
+        << "# DOTA eviction on. Doubles are C99 hex floats.\n"
+        << "# Regenerate with DOTA_REGEN_GOLDEN=1 after intentional\n"
+        << "# engine or cost-model changes.\n";
+    for (const auto &[key, value] : kv)
+        out << key << " " << value << "\n";
+}
+
+void
+expectMatchesGolden(const ServeReport &rep)
+{
+    const auto golden = readGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << goldenPath()
+        << " — regenerate with DOTA_REGEN_GOLDEN=1";
+    for (const auto &[key, value] : pinnedFields(rep)) {
+        auto it = golden.find(key);
+        ASSERT_NE(it, golden.end()) << "field " << key;
+        EXPECT_EQ(value, it->second) << "field " << key;
+    }
+}
+
+TEST(GenerationGolden, SerialRunMatchesGoldenFile)
+{
+    test::ScopedThreads serial(1);
+    const ServeReport rep = goldenRun();
+    if (envFlag("DOTA_REGEN_GOLDEN")) {
+        writeGolden(pinnedFields(rep));
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+    expectMatchesGolden(rep);
+}
+
+TEST(GenerationGolden, ParallelRunMatchesGoldenExactly)
+{
+    if (envFlag("DOTA_REGEN_GOLDEN"))
+        GTEST_SKIP() << "regeneration pass";
+    test::ScopedThreads parallel(8);
+    expectMatchesGolden(goldenRun());
+}
+
+} // namespace
+} // namespace dota

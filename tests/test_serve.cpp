@@ -15,30 +15,13 @@
 #include "serve/fault.hpp"
 #include "serve/simulator.hpp"
 #include "serve/trace.hpp"
+#include "serve_test_util.hpp"
 
 namespace dota {
 namespace {
 
-TraceConfig
-smallTrace(size_t requests = 60, double rate = 400.0)
-{
-    TraceConfig tc;
-    tc.rate_per_s = rate;
-    tc.requests = requests;
-    tc.seed = 11;
-    tc.len_min = 128;
-    tc.len_max = 1024;
-    return tc;
-}
-
-ServeConfig
-smallFleet(size_t accelerators = 4)
-{
-    ServeConfig sc;
-    sc.accelerators = accelerators;
-    sc.mode = DotaMode::Full;
-    return sc;
-}
+using test::smallFleet;
+using test::smallTrace;
 
 // ---------------------------------------------------------------- trace
 

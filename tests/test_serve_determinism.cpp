@@ -9,94 +9,15 @@
  */
 #include <gtest/gtest.h>
 
-#include "common/thread_pool.hpp"
 #include "serve/simulator.hpp"
+#include "serve_test_util.hpp"
 
 namespace dota {
 namespace {
 
-/** Pin the global pool to @p n threads for one scope. */
-class ScopedThreads
-{
-  public:
-    explicit ScopedThreads(size_t n)
-        : prev_(ThreadPool::globalConcurrency())
-    {
-        ThreadPool::setGlobalConcurrency(n);
-    }
-    ~ScopedThreads() { ThreadPool::setGlobalConcurrency(prev_); }
-
-  private:
-    size_t prev_;
-};
-
-/** Run @p fn at 1 thread and at 8 threads; return both results. */
-template <typename Fn>
-auto
-atBothThreadCounts(Fn fn)
-{
-    ScopedThreads serial(1);
-    auto a = fn();
-    ScopedThreads parallel(8);
-    auto b = fn();
-    return std::make_pair(std::move(a), std::move(b));
-}
-
-/** Exact (bitwise, via ==) equality of two full serve reports. */
-void
-expectIdentical(const ServeReport &a, const ServeReport &b)
-{
-    EXPECT_EQ(a.requests, b.requests);
-    EXPECT_EQ(a.completed, b.completed);
-    EXPECT_EQ(a.failed, b.failed);
-    EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
-    EXPECT_EQ(a.shed_expired, b.shed_expired);
-    EXPECT_EQ(a.shed_starved, b.shed_starved);
-    EXPECT_EQ(a.retries, b.retries);
-    EXPECT_EQ(a.failovers, b.failovers);
-    EXPECT_EQ(a.transient_errors, b.transient_errors);
-    EXPECT_EQ(a.timeouts, b.timeouts);
-    EXPECT_EQ(a.breaker_trips, b.breaker_trips);
-    EXPECT_EQ(a.deadline_misses, b.deadline_misses);
-    // Floating-point fields compared with ==: bit-identical, not close.
-    EXPECT_EQ(a.p50_ms, b.p50_ms);
-    EXPECT_EQ(a.p95_ms, b.p95_ms);
-    EXPECT_EQ(a.p99_ms, b.p99_ms);
-    EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
-    EXPECT_EQ(a.max_latency_ms, b.max_latency_ms);
-    EXPECT_EQ(a.deadline_miss_rate, b.deadline_miss_rate);
-    EXPECT_EQ(a.goodput_seq_s, b.goodput_seq_s);
-    EXPECT_EQ(a.horizon_ms, b.horizon_ms);
-    EXPECT_EQ(a.total_energy_j, b.total_energy_j);
-    EXPECT_EQ(a.mean_retention, b.mean_retention);
-    EXPECT_EQ(a.completed_by_level, b.completed_by_level);
-    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
-    for (size_t i = 0; i < a.outcomes.size(); ++i) {
-        const RequestOutcome &x = a.outcomes[i];
-        const RequestOutcome &y = b.outcomes[i];
-        EXPECT_EQ(x.id, y.id);
-        EXPECT_EQ(x.status, y.status);
-        EXPECT_EQ(x.device, y.device);
-        EXPECT_EQ(x.dispatch_ms, y.dispatch_ms);
-        EXPECT_EQ(x.finish_ms, y.finish_ms);
-        EXPECT_EQ(x.attempts, y.attempts);
-        EXPECT_EQ(x.level, y.level);
-        EXPECT_EQ(x.retention, y.retention);
-        EXPECT_EQ(x.deadline_missed, y.deadline_missed);
-    }
-    ASSERT_EQ(a.devices.size(), b.devices.size());
-    for (size_t d = 0; d < a.devices.size(); ++d) {
-        EXPECT_EQ(a.devices[d].name, b.devices[d].name);
-        EXPECT_EQ(a.devices[d].busy_ms, b.devices[d].busy_ms);
-        EXPECT_EQ(a.devices[d].completed, b.devices[d].completed);
-        EXPECT_EQ(a.devices[d].failed_attempts,
-                  b.devices[d].failed_attempts);
-        EXPECT_EQ(a.devices[d].breaker_trips,
-                  b.devices[d].breaker_trips);
-        EXPECT_EQ(a.devices[d].down_intervals,
-                  b.devices[d].down_intervals);
-    }
-}
+using test::ScopedThreads;
+using test::atBothThreadCounts;
+using test::expectIdentical;
 
 ServeReport
 chaosRun(uint64_t arrival_seed, uint64_t fault_seed)
