@@ -8,8 +8,13 @@
  *   dota_cli [--benchmark QA|Image|Text|Retrieval|LM]
  *            [--mode full|conservative|aggressive]
  *            [--device <key>|list] [--lanes N] [--parallelism T]
- *            [--dataflow ooo|inorder|rowbyrow] [--sigma S] [--bits B]
- *            [--overlap] [--generation] [--csv]
+ *            [--dataflow ooo|inorder|rowbyrow|streaming]
+ *            [--attn auto|dense|sparse|streaming|list] [--sigma S]
+ *            [--bits B] [--overlap] [--generation] [--csv]
+ *
+ * The software attention backend (DESIGN.md §13) is picked by --attn
+ * or the DOTA_ATTN environment variable; unknown values print the
+ * backend table and exit 2, mirroring --device.
  *
  * Online-serving mode (src/serve/): replay a seeded arrival trace on a
  * fleet of the selected device under an optional fault plan:
@@ -26,6 +31,7 @@
  *            [--requests N] [--arrival-seed S] [--out-min N]
  *            [--out-max N] [--kv-budget-mb M] [--page-tokens N]
  *            [--max-batch N] [--step-tokens N] [--no-evict] [--no-topk]
+ *            [--streaming-prefill]
  *
  * Crash-safe training mode (src/train/): train a benchmark's tiny proxy
  * model with atomic checksummed checkpoints; kill it at any step and
@@ -63,6 +69,7 @@ struct CliOptions
 {
     std::string benchmark = "Text";
     std::string device = "dota";
+    std::string attn; ///< empty: keep DOTA_ATTN / auto resolution
     DotaMode mode = DotaMode::Conservative;
     size_t lanes = 24;
     bool generation = false;
@@ -99,7 +106,8 @@ usage()
         "                [--mode full|conservative|aggressive]\n"
         "                [--device <key>|list] [--lanes N]\n"
         "                [--parallelism T] [--dataflow ooo|inorder|"
-        "rowbyrow]\n"
+        "rowbyrow|streaming]\n"
+        "                [--attn auto|dense|sparse|streaming|list]\n"
         "                [--sigma S] [--bits 2|4|8] [--overlap]\n"
         "                [--generation] [--trace] [--csv]\n"
         "       dota_cli --serve [--accelerators N] [--arrival-rate R]\n"
@@ -117,6 +125,7 @@ usage()
         "[--page-tokens N]\n"
         "                [--max-batch N] [--step-tokens N] "
         "[--no-evict] [--no-topk]\n"
+        "                [--streaming-prefill]\n"
         "       dota_cli --train [--benchmark B] [--steps N] "
         "[--batch N]\n"
         "                [--train-seed S] [--checkpoint-dir D]\n"
@@ -157,6 +166,8 @@ parse(int argc, char **argv)
             opt.benchmark = need(i);
         } else if (arg == "--device") {
             opt.device = toLower(need(i));
+        } else if (arg == "--attn") {
+            opt.attn = toLower(need(i));
         } else if (arg == "--mode") {
             const std::string m = toLower(need(i));
             if (m == "full")
@@ -179,6 +190,8 @@ parse(int argc, char **argv)
                 opt.sim.dataflow = Dataflow::TokenParallelInOrder;
             else if (d == "rowbyrow")
                 opt.sim.dataflow = Dataflow::RowByRow;
+            else if (d == "streaming")
+                opt.sim.dataflow = Dataflow::StreamingTiled;
             else
                 usage();
         } else if (arg == "--sigma") {
@@ -237,6 +250,8 @@ parse(int argc, char **argv)
             opt.kv.evict_after_prefill = false;
         } else if (arg == "--no-topk") {
             opt.kv.dynamic_topk = false;
+        } else if (arg == "--streaming-prefill") {
+            opt.batch.streaming_prefill = true;
         } else if (arg == "--train") {
             opt.train = true;
         } else if (arg == "--steps") {
@@ -466,12 +481,46 @@ printReport(const RunReport &r, bool csv)
               << fmtNum(r.totalEnergyJ() * 1e3, 3) << "mJ\n";
 }
 
+/**
+ * Resolve the --attn flag / DOTA_ATTN env into the process-wide backend
+ * choice, mirroring deviceKey(): unknown values print the backend table
+ * and exit 2 (the library alone would warn and fall back to auto — an
+ * explicit CLI run should fail loudly instead of silently measuring the
+ * wrong backend). "--attn list" prints the table and exits 0.
+ */
+void
+applyAttnChoice(const CliOptions &opt)
+{
+    const char *env = std::getenv("DOTA_ATTN");
+    AttnChoice choice = AttnChoice::Auto;
+    if (env != nullptr && !parseAttnChoice(toLower(env), choice)) {
+        std::cerr << "unknown DOTA_ATTN value '" << env
+                  << "'; pick one of these backends:\n";
+        listAttnBackends(std::cerr);
+        std::exit(2);
+    }
+    if (opt.attn.empty())
+        return;
+    if (opt.attn == "list") {
+        listAttnBackends(std::cout);
+        std::exit(0);
+    }
+    if (!parseAttnChoice(opt.attn, choice)) {
+        std::cerr << "unknown --attn value '" << opt.attn
+                  << "'; pick one of these backends:\n";
+        listAttnBackends(std::cerr);
+        std::exit(2);
+    }
+    setAttnChoice(choice);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const CliOptions opt = parse(argc, argv);
+    applyAttnChoice(opt);
     if (opt.device == "list") {
         listDevices(std::cout);
         return 0;

@@ -45,6 +45,7 @@
 #include "device/fleet.hpp"
 #include "device/gpu_device.hpp"
 #include "device/registry.hpp"
+#include "nn/attention_backend.hpp"
 #include "nn/decode.hpp"
 #include "nn/serialize.hpp"
 #include "sched/dataflow.hpp"
@@ -60,6 +61,7 @@
 #include "sim/trace.hpp"
 #include "tensor/linalg.hpp"
 #include "workloads/benchmark.hpp"
+#include "workloads/long_retrieval.hpp"
 #include "workloads/mask_synth.hpp"
 #include "workloads/synthetic_task.hpp"
 #include "workloads/trainer.hpp"

@@ -7,7 +7,6 @@
 #include <cmath>
 
 #include "tensor/sparse_mask.hpp"
-#include "tensor/sparse_ops.hpp"
 
 namespace dota {
 
@@ -44,14 +43,18 @@ MultiHeadAttention::addHeadSlice(Matrix &dst, const Matrix &src,
             dst(i, off + j) += src(i, j);
 }
 
-Matrix
-MultiHeadAttention::causalMask(size_t n) const
+const Matrix &
+MultiHeadAttention::cachedCausalMask(size_t n)
 {
-    Matrix m(n, n);
-    for (size_t i = 0; i < n; ++i)
-        for (size_t j = 0; j <= i; ++j)
-            m(i, j) = 1.0f;
-    return m;
+    if (causal_cache_.rows() != n) {
+        Matrix m(n, n);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j <= i; ++j)
+                m(i, j) = 1.0f;
+        causal_cache_ = std::move(m);
+        ++causal_builds_;
+    }
+    return causal_cache_;
 }
 
 Matrix
@@ -69,19 +72,18 @@ MultiHeadAttention::forward(const Matrix &x)
     s_raw_.assign(heads_, Matrix());
     a_.assign(heads_, Matrix());
     masks_.assign(heads_, Matrix());
+    head_backends_.assign(heads_, AttnBackendKind::Dense);
     z_ = Matrix(n, dim_);
     sparse_forward_ = false;
 
-    // The sparse inference path (tensor/sparse_ops.hpp) computes scores
-    // only at mask-kept coordinates — the software analogue of the
-    // accelerator omitting weak attentions. It is only legal when the
-    // hook does not need the full S (no estimation loss to maintain) and
-    // no measurement code forced the dense path. Kept entries are
-    // bit-identical to the dense masked computation, so this is a pure
-    // work reduction, not an approximation beyond the mask itself.
-    const bool may_sparsify =
-        hook_ && !force_dense_ && !hook_->wantsFullScores();
-
+    // Per-head backend dispatch (nn/attention_backend.hpp). Non-dense
+    // backends compute scores only at mask-kept coordinates — the
+    // software analogue of the accelerator omitting weak attentions —
+    // and are only legal when the hook does not need the full S (no
+    // estimation loss to maintain) and no measurement code forced the
+    // dense path. Sparse kept entries are bit-identical to the dense
+    // masked computation; streaming is tolerance-level (DESIGN.md §13).
+    const AttnChoice choice = attnChoice();
     const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
     for (size_t h = 0; h < heads_; ++h) {
         const Matrix qh = headSlice(q_, h);
@@ -94,31 +96,46 @@ MultiHeadAttention::forward(const Matrix &x)
             mask = hook_->selectMask(layer_, h, causal_);
         }
         const bool hook_mask = !mask.empty();
-        if (!hook_mask && causal_)
-            mask = causalMask(n);
-        masks_[h] = mask;
+        masks_[h] = std::move(mask);
 
-        if (may_sparsify && hook_mask) {
-            sparse_forward_ = true;
-            addHeadSlice(z_,
-                         sparseMaskedAttention(qh, kh, vh,
-                                               SparseMask::fromDense(mask),
-                                               inv_sqrt_dk),
-                         h);
-            continue; // s_raw_[h]/a_[h] stay empty; observeScores skipped
+        const AttnBackendKind kind = resolveAttnBackend(
+            choice, hook_ != nullptr, hook_ && hook_->wantsFullScores(),
+            force_dense_, hook_mask, n);
+        head_backends_[h] = kind;
+        const AttentionBackend &backend = attentionBackend(kind);
+
+        AttnHeadProblem p;
+        p.q = &qh;
+        p.k = &kh;
+        p.v = &vh;
+        p.scale = inv_sqrt_dk;
+        SparseMask smask;
+        if (kind == AttnBackendKind::Dense) {
+            // A hook mask replaces the causal constraint; otherwise the
+            // cached triangle (no per-forward n x n rebuild).
+            if (hook_mask)
+                p.dense_mask = &masks_[h];
+            else if (causal_)
+                p.dense_mask = &cachedCausalMask(n);
+        } else {
+            if (hook_mask) {
+                smask = SparseMask::fromDense(masks_[h]);
+                p.sparse_mask = &smask;
+            }
+            p.causal = causal_ && !hook_mask;
         }
 
-        // Raw scores S = Q K^T (pre-scaling, matching Eq. 5's target).
-        s_raw_[h] = matmulBT(qh, kh);
-
-        const Matrix scaled = scale(s_raw_[h], inv_sqrt_dk);
-        a_[h] = mask.empty() ? rowSoftmax(scaled)
-                             : rowSoftmaxMasked(scaled, mask);
-
-        if (hook_)
-            hook_->observeScores(layer_, h, s_raw_[h]);
-
-        addHeadSlice(z_, matmul(a_[h], vh), h);
+        AttnHeadResult r = backend.runHead(p);
+        if (backend.capturesScores()) {
+            s_raw_[h] = std::move(r.scores);
+            a_[h] = std::move(r.probs);
+            if (hook_)
+                hook_->observeScores(layer_, h, s_raw_[h]);
+        } else {
+            // s_raw_[h]/a_[h] stay empty; observeScores skipped.
+            sparse_forward_ = true;
+        }
+        addHeadSlice(z_, r.z, h);
     }
     return matmul(z_, wo_.value);
 }
@@ -128,9 +145,9 @@ MultiHeadAttention::backward(const Matrix &dy)
 {
     DOTA_ASSERT(!x_.empty(), "backward before forward");
     DOTA_ASSERT(!sparse_forward_,
-                "backward after a sparse inference forward: the sparse "
-                "path does not cache S/A (training hooks must return "
-                "wantsFullScores() == true)");
+                "backward after a non-dense inference forward: the "
+                "sparse/streaming backends do not cache S/A (training "
+                "hooks must return wantsFullScores() == true)");
     const size_t n = x_.rows();
     const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 

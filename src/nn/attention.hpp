@@ -6,11 +6,20 @@
  * A = SoftMax(QK^T / sqrt(d_k)) (optionally masked by a hook and/or a
  * causal constraint); Z = A V; out = Z W_O. Backward is hand-derived and
  * verified by finite differences in the test suite.
+ *
+ * Execution is delegated per head to a pluggable AttentionBackend
+ * (nn/attention_backend.hpp): dense, CSR-sparse, or tiled streaming,
+ * selected at runtime from the hook's needs, the sequence length and
+ * the DOTA_ATTN override. forward() prepares each head's problem
+ * (slices, masks, scale) and dispatches; only the dense backend
+ * materializes S/A, so the probe accessors below are a backend
+ * capability, not a layer guarantee.
  */
 #pragma once
 
 #include <vector>
 
+#include "nn/attention_backend.hpp"
 #include "nn/attention_hook.hpp"
 #include "nn/param.hpp"
 #include "tensor/ops.hpp"
@@ -41,18 +50,23 @@ class MultiHeadAttention : public Module
     /** Forward over (n x d); returns (n x d). */
     Matrix forward(const Matrix &x);
 
-    /** Backward; returns dL/dx. Invalid after a sparse forward. */
+    /** Backward; returns dL/dx. Invalid after a non-dense forward. */
     Matrix backward(const Matrix &dy);
 
     /**
-     * Force the dense per-head computation even when the installed hook
-     * permits the sparse path (wantsFullScores() == false). Measurement
-     * code that reads lastScores()/lastAttention() — detection-quality
-     * metrics, score-distribution probes — sets this around its forwards.
+     * Force the dense backend even when the installed hook permits a
+     * non-dense path (wantsFullScores() == false). Measurement code
+     * that reads lastScores()/lastAttention() — detection-quality
+     * metrics, score-distribution probes — sets this around its
+     * forwards. Overrides any DOTA_ATTN choice.
      */
     void setForceDense(bool force) { force_dense_ = force; }
 
-    /** True when the last forward ran any head through the sparse path. */
+    /**
+     * True when the last forward ran any head through a non-dense
+     * backend (sparse or streaming): S/A are not cached for those
+     * heads and backward() is invalid.
+     */
     bool lastForwardSparse() const { return sparse_forward_; }
 
     void collectParams(std::vector<Parameter *> &out) override;
@@ -63,18 +77,39 @@ class MultiHeadAttention : public Module
 
     /**
      * Attention-probability matrices from the last forward, per head.
-     * Empty for heads that took the sparse inference path.
+     * Empty for heads whose backend does not capture scores.
      */
     const std::vector<Matrix> &lastAttention() const { return a_; }
 
     /**
      * Raw score matrices S = QK^T from the last forward, per head.
-     * Empty for heads that took the sparse inference path.
+     * Empty for heads whose backend does not capture scores.
      */
     const std::vector<Matrix> &lastScores() const { return s_raw_; }
 
-    /** Masks applied in the last forward (empty matrices when dense). */
+    /**
+     * Hook-selected masks applied in the last forward (empty matrices
+     * when the hook kept everything). The causal constraint is not
+     * recorded here — it is implicit (see causal()) and, on the dense
+     * path, applied from the per-length cache below.
+     */
     const std::vector<Matrix> &lastMasks() const { return masks_; }
+
+    /** Backend each head of the last forward dispatched to. */
+    const std::vector<AttnBackendKind> &lastBackends() const
+    {
+        return head_backends_;
+    }
+
+    /**
+     * The cached dense causal triangle for length @p n, rebuilt only
+     * when the length changes (two same-length forwards share one
+     * allocation — see causalMaskBuilds()).
+     */
+    const Matrix &cachedCausalMask(size_t n);
+
+    /** Number of times the causal mask was (re)built (regression). */
+    size_t causalMaskBuilds() const { return causal_builds_; }
 
     /** Weight accessors (used by the incremental decode path). */
     const Matrix &wq() const { return wq_.value; }
@@ -85,7 +120,6 @@ class MultiHeadAttention : public Module
   private:
     Matrix headSlice(const Matrix &m, size_t h) const;
     void addHeadSlice(Matrix &dst, const Matrix &src, size_t h) const;
-    Matrix causalMask(size_t n) const;
 
     size_t layer_;
     size_t dim_;
@@ -97,11 +131,15 @@ class MultiHeadAttention : public Module
     bool force_dense_ = false;
     bool sparse_forward_ = false;
 
+    Matrix causal_cache_;      ///< dense causal triangle, per-length
+    size_t causal_builds_ = 0; ///< rebuild counter (tests)
+
     // Cached activations for backward.
     Matrix x_, q_, k_, v_, z_;
     std::vector<Matrix> s_raw_; ///< per-head raw scores QK^T
     std::vector<Matrix> a_;     ///< per-head attention probabilities
-    std::vector<Matrix> masks_; ///< per-head keep masks (may be empty)
+    std::vector<Matrix> masks_; ///< per-head hook masks (may be empty)
+    std::vector<AttnBackendKind> head_backends_; ///< per-head dispatch
 };
 
 } // namespace dota

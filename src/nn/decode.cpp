@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/attention_backend.hpp"
+#include "tensor/streaming_attention.hpp"
 #include "tensor/topk.hpp"
 
 namespace dota {
@@ -119,6 +121,31 @@ attentionStep(MultiHeadAttention &attn, const Matrix &x_row,
     const size_t t = cache.length();
     const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(dh));
     Matrix z(1, q.cols());
+
+    // Streaming single-query path: the same dispatch policy as the
+    // layer forward (explicit DOTA_ATTN=streaming, or auto once the
+    // cache outgrows the streaming threshold), dense-only semantics
+    // (retention == 1: dynamic top-k needs the full score row). The
+    // second tile pass feeds the same attention-mass telemetry.
+    const AttnChoice choice = attnChoice();
+    const bool stream =
+        retention >= 1.0 &&
+        (choice == AttnChoice::Streaming ||
+         (choice == AttnChoice::Auto && t >= kStreamingAutoSeqLen));
+    if (stream) {
+        std::vector<float> probs;
+        for (size_t h = 0; h < heads; ++h) {
+            const size_t off = h * dh;
+            streamingAttentionQuery(q.row(0) + off, cache.k, cache.v, off,
+                                    dh, inv_sqrt_dk, z.row(0) + off,
+                                    &probs);
+            for (size_t j = 0; j < t; ++j)
+                if (probs[j] != 0.0f)
+                    cache.mass[j] += probs[j];
+        }
+        return matmul(z, attn.wo());
+    }
+
     for (size_t h = 0; h < heads; ++h) {
         const size_t off = h * dh;
         // Scores of the new query against all cached keys of this head.

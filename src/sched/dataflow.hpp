@@ -1,18 +1,36 @@
 /**
  * @file
  * Dataflow analysis: memory traffic and utilization of a sparse attention
- * computation under the three scheduling policies (Figures 8/9/15).
+ * computation under the scheduling policies (Figures 8/9/15), plus the
+ * streaming tiled dataflow of the software backend (DESIGN.md §13).
  */
 #pragma once
 
 #include <string>
 
 #include "sched/scheduler.hpp"
+#include "tensor/streaming_attention.hpp"
 
 namespace dota {
 
 /** Scheduling policy selector. */
-enum class Dataflow { RowByRow, TokenParallelInOrder, TokenParallelOoO };
+enum class Dataflow
+{
+    RowByRow,
+    TokenParallelInOrder,
+    TokenParallelOoO,
+
+    /**
+     * Online-softmax streaming: query groups of T lanes walk the keys
+     * one KV tile at a time in ascending order, issuing each kept key
+     * of the tile once to the group (tile-bounded score buffer instead
+     * of row-length). Tiles with no kept key are skipped entirely, and
+     * every contributing tile costs one extra accumulator-rescale
+     * round (the FLASH-D recurrence) — the accelerator-model twin of
+     * tensor/streaming_attention.hpp.
+     */
+    StreamingTiled,
+};
 
 /** Human-readable dataflow name. */
 std::string dataflowName(Dataflow d);
@@ -27,14 +45,23 @@ struct DataflowStats
     uint64_t connections = 0;  ///< total (query, key) pairs computed
     uint64_t ideal_loads = 0;  ///< lower bound: distinct keys per group
     double utilization = 0.0;  ///< mean PE-slot utilization
+
+    /**
+     * StreamingTiled only (0 otherwise): contributing (group, tile)
+     * pairs. Each costs one lock-step rescale of the group's d_h-wide
+     * accumulators, charged by the accelerator's attention phase.
+     */
+    uint64_t tile_flushes = 0;
 };
 
 /**
  * Analyze @p mask under @p dataflow with token parallelism @p t
- * (ignored for RowByRow).
+ * (ignored for RowByRow). @p tile is the KV-tile width of the
+ * StreamingTiled dataflow (ignored by the others).
  */
 DataflowStats analyzeDataflow(const SparseMask &mask, Dataflow dataflow,
-                              size_t t = 4);
+                              size_t t = 4,
+                              size_t tile = kStreamingAttnTile);
 
 /** Build the worked example of Figure 8 (4 queries x 5 keys, 10 nnz). */
 SparseMask figure8Mask();

@@ -149,10 +149,12 @@ struct GenEventLater
 struct Running
 {
     size_t id = 0;
-    bool prefill = true;    ///< this step runs the prompt, not a token
+    bool prefill = true;    ///< this step runs prompt tokens, not a token
     size_t level = 0;       ///< ladder level fixed at admission
     size_t kv_tokens = 0;   ///< KV entries currently held
     size_t generated = 0;   ///< output tokens emitted so far
+    size_t prefill_done = 0; ///< prompt tokens prefilled (streaming)
+    size_t step_chunk = 0;   ///< prompt tokens this step (streaming)
     double first_token_ms = 0.0;
     double dispatch_ms = 0.0; ///< latest prefill start
 };
@@ -302,7 +304,25 @@ GenerationEngine::run(const GenTrace &trace) const
         DevGen &d = dev[a];
         if (d.busy)
             return;
-        size_t used_tokens = d.running.size(); // one per decode
+        const bool chunked = bp.streaming_prefill;
+        size_t used_tokens = 0;
+        for (Running &r : d.running)
+            used_tokens += r.prefill ? 0 : 1; // one per decode
+        // Resident unfinished prefills (streaming only — without
+        // chunking a prefill always completes within its step) claim
+        // their next chunk first, in resident order: whatever step
+        // budget the decodes left, floored at one token so every
+        // admitted prompt makes progress each step.
+        for (Running &r : d.running) {
+            if (!r.prefill)
+                continue;
+            const size_t remaining = r.kv_tokens - r.prefill_done;
+            const size_t left = bp.max_step_tokens > used_tokens
+                                    ? bp.max_step_tokens - used_tokens
+                                    : 0;
+            r.step_chunk = std::max<size_t>(1, std::min(remaining, left));
+            used_tokens += r.step_chunk;
+        }
         const size_t level_now =
             disp.degradeLevel(disp.queueDepth(), n);
         // Strict-FIFO admission: the head is never skipped, so no
@@ -313,18 +333,21 @@ GenerationEngine::run(const GenTrace &trace) const
                 break;
             const size_t id = head->req.id;
             const size_t prompt = head->req.seq_len;
-            if (prompt > bp.max_step_tokens ||
+            if ((!chunked && prompt > bp.max_step_tokens) ||
                 !d.alloc->feasible(prompt + 1)) {
                 // Deterministic fail-fast: this prompt can never be
                 // scheduled (step budget or an empty arena too small),
                 // and holding the FIFO head would starve the queue.
+                // Streaming prefill lifts the step-budget limit — only
+                // KV infeasibility remains terminal.
                 disp.pop();
                 failRequest(id, now, true);
                 continue;
             }
             if (d.running.size() >= bp.max_batch_seqs)
                 break;
-            if (used_tokens + prompt > bp.max_step_tokens)
+            if (chunked ? used_tokens >= bp.max_step_tokens
+                        : used_tokens + prompt > bp.max_step_tokens)
                 break;
             if (!d.alloc->canFit(prompt))
                 break; // wait for pages to free up
@@ -338,9 +361,12 @@ GenerationEngine::run(const GenTrace &trace) const
             r.prefill = true;
             r.level = std::min(level_now, sim_.ladderDepth(a) - 1);
             r.kv_tokens = prompt;
+            r.step_chunk =
+                chunked ? std::min(prompt, bp.max_step_tokens - used_tokens)
+                        : prompt;
             r.dispatch_ms = now;
             d.running.push_back(r);
-            used_tokens += prompt;
+            used_tokens += r.step_chunk;
             const size_t wait = gen.steps - queued_at_step[id];
             gen.max_queue_wait_steps =
                 std::max(gen.max_queue_wait_steps, wait);
@@ -358,7 +384,9 @@ GenerationEngine::run(const GenTrace &trace) const
         double dur = bp.step_overhead_ms;
         for (const Running &r : d.running) {
             if (r.prefill)
-                dur += prefillMs(a, r.level, r.kv_tokens);
+                // One chunk's cost under streaming prefill (the full
+                // prompt in one piece otherwise — step_chunk == prompt).
+                dur += prefillMs(a, r.level, r.step_chunk);
             else
                 dur += decodeTokenMs(
                     a, r.level, attendedOf(a, r.level, r.kv_tokens));
@@ -414,7 +442,10 @@ GenerationEngine::run(const GenTrace &trace) const
             for (Running &r : d.running) {
                 if (r.prefill) {
                     any_prefill = true;
-                    gen.prefill_tokens += r.kv_tokens;
+                    r.prefill_done += r.step_chunk;
+                    gen.prefill_tokens += r.step_chunk;
+                    if (r.prefill_done < r.kv_tokens)
+                        continue; // mid-stream: no first token yet
                     r.first_token_ms = now;
                     r.generated = 1;
                     const double frac = evictKeepFraction(a, r.level);
@@ -481,6 +512,10 @@ GenerationEngine::run(const GenTrace &trace) const
             //    sequence (latest arrival, id tie-break) — the oldest
             //    always makes progress, which is what bounds waiting.
             for (size_t i = 0; i < d.running.size();) {
+                if (d.running[i].prefill) {
+                    ++i; // mid-stream prefill emitted no token yet
+                    continue;
+                }
                 const size_t cur_id = d.running[i].id;
                 if (d.alloc->appendTokens(cur_id, 1)) {
                     ++i;

@@ -44,9 +44,23 @@ struct BatchPolicy
     /**
      * Token budget of one step: each decoding sequence costs one
      * token, a prefill costs its whole prompt. Prompts longer than
-     * this can never be scheduled and fail deterministically.
+     * this can never be scheduled and fail deterministically —
+     * unless streaming_prefill lifts the limit.
      */
     size_t max_step_tokens = 8192;
+
+    /**
+     * Chunked (streaming) prefill: prompts longer than the step-token
+     * budget are admitted anyway (KV feasibility still required, all
+     * pages reserved at admission) and prefilled across consecutive
+     * steps, each step consuming up to the budget left after the
+     * decodes — the serving-side face of the streaming attention
+     * backend, whose O(tile) score memory is what makes a 32k-token
+     * prefill pass feasible at all. The first output token (TTFT) and
+     * the DOTA eviction pass happen when the last chunk lands. Off by
+     * default so existing generation goldens are untouched.
+     */
+    bool streaming_prefill = false;
 
     /** Fixed per-step launch overhead (kernel dispatch, bookkeeping). */
     double step_overhead_ms = 0.05;

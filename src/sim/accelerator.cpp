@@ -255,6 +255,18 @@ DotaAccelerator::attentionPhase(const ModelShape &shape,
     }
     phase.macs = 2 * h * connections * dh;
 
+    // Streaming tiled dataflow only (tile_flushes == 0 otherwise):
+    // every contributing (group, tile) pair rescales the group's
+    // d_h-wide accumulators in lock-step — one extra T-slot round per
+    // flush, the FLASH-D recurrence that buys the tile-bounded score
+    // buffer.
+    if (dataflow.tile_flushes > 0) {
+        compute += ceilDiv(
+            h * rmmu_.sparseAttentionCycles(dataflow.tile_flushes, t, dh),
+            hw_.lanes);
+        phase.macs += h * dataflow.tile_flushes * t * dh;
+    }
+
     // MFU softmax: dequant -> exp -> sum -> div -> requant per kept score.
     const uint64_t sm_elems = h * connections;
     compute += ceilDiv(sm_elems,

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tiled streaming (online-softmax) attention kernel — O(n · tile) score
+ * memory for arbitrarily long contexts (ROADMAP item 1, DESIGN.md §13).
+ *
+ * The dense and CSR attention paths materialize the full n x n score
+ * matrix (or its kept coordinates) before softmax, which makes 32k+
+ * contexts memory-infeasible. This kernel processes the keys in fixed
+ * KV tiles and folds each tile into a FlashAttention-style recurrence —
+ * per query row it keeps only a running max `m`, a running denominator
+ * `l` and the unnormalized context accumulator `acc`:
+ *
+ *     m'   = max(m, max of the tile's scores)
+ *     corr = exp(m - m')
+ *     l'   = l * corr + sum of exp(score - m') over the tile
+ *     acc' = corr * acc + exp(score - m') @ V_tile
+ *     out  = acc / l          (one division at the very end, FLASH-D)
+ *
+ * so at no point does more than one tile of scores exist per thread.
+ * The DOTA sparse-row mask composes per tile: a tile contributes only
+ * its kept columns, and tiles with no kept columns are skipped entirely
+ * — omission saves both memory and work, exactly as in the CSR path.
+ *
+ * Determinism contract (DESIGN.md §7): tiles are folded in ascending
+ * key order, per-tile score/probability reductions follow the fixed
+ * dot-family / broadcast-FMA contracts of gemm_kernels.hpp, and
+ * parallelism is one-owner-per-query-row — results are bit-identical
+ * across every DOTA_THREADS value and across AVX2/portable kernels.
+ * Divergence from the dense path is bounded (different summation
+ * grouping of the same exp terms) and pinned by tolerance goldens in
+ * tests/test_streaming_attention.cpp.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/sparse_mask.hpp"
+
+namespace dota {
+
+/** Default KV-tile width (keys per tile) of the streaming kernel. */
+constexpr size_t kStreamingAttnTile = 64;
+
+/**
+ * One attention head through the streaming path:
+ * softmax(scale * Q K^T restricted to @p mask / the causal bound) * V.
+ *
+ * @param q       queries, n x d
+ * @param k       keys,    m x d
+ * @param v       values,  m x d
+ * @param mask    kept connections (n x m), or nullptr for no mask
+ * @param causal  restrict row r to keys [0, r] (composes with @p mask)
+ * @param scale   score scaling (1/sqrt(d_k)), one rounding per score
+ * @param tile    KV-tile width (clamped to >= 1)
+ * @return        n x d context matrix; rows with no kept keys are zero
+ */
+Matrix streamingAttention(const Matrix &q, const Matrix &k, const Matrix &v,
+                          const SparseMask *mask, bool causal, float scale,
+                          size_t tile = kStreamingAttnTile);
+
+/**
+ * Single-query streaming attention against a strided KV cache — the
+ * decode-time variant. Keys/values live in t x dim matrices where this
+ * head occupies columns [off, off + dh); the query is a dh-vector.
+ *
+ * Writes the context into out[0 .. dh) (overwriting). When @p probs is
+ * non-null it receives the final per-position probability of every
+ * cached key (probs[0 .. t)), produced by a second tile pass with the
+ * converged max/denominator — the attention-mass telemetry feed for
+ * evictWeak() — still never holding more than one tile of scores.
+ */
+void streamingAttentionQuery(const float *qrow, const Matrix &k,
+                             const Matrix &v, size_t off, size_t dh,
+                             float scale, float *out,
+                             std::vector<float> *probs = nullptr,
+                             size_t tile = kStreamingAttnTile);
+
+/**
+ * Peak transient score memory of one streamingAttention() call in
+ * bytes: every active thread holds one tile of scores plus one tile of
+ * column ids and a d-wide accumulator pair. Used by the bench harness
+ * to report the analytic footprint next to the measured peak RSS.
+ */
+size_t streamingAttnScratchBytes(size_t d, size_t tile, size_t threads);
+
+} // namespace dota

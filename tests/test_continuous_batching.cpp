@@ -197,5 +197,78 @@ TEST(ContinuousBatching, SeedsActuallyMatter)
     EXPECT_NE(a.gen.ttft_p50_ms, b.gen.ttft_p50_ms);
 }
 
+// ------------------------------------------------- streaming prefill
+
+/** Long-prompt trace: every prompt exceeds a 256-token step budget. */
+GenTraceConfig
+longPromptTrace(size_t requests)
+{
+    GenTraceConfig tc = smallGenTrace(requests, 50.0);
+    tc.arrivals.len_min = 1000;
+    tc.arrivals.len_max = 1600;
+    return tc;
+}
+
+EngineConfig
+chunkedEngine()
+{
+    EngineConfig ec = smallEngine(2);
+    ec.batch.max_step_tokens = 256;
+    ec.batch.streaming_prefill = true;
+    ec.kv.budget_bytes = 256ull << 20;
+    return ec;
+}
+
+TEST(ContinuousBatching, StreamingPrefillAdmitsOverBudgetPrompts)
+{
+    // Without chunking a prompt longer than the step budget fails
+    // deterministically at the FIFO head; streaming prefill admits it
+    // and spreads the prefill across steps, conserving every token.
+    const GenTraceConfig tc = longPromptTrace(6);
+    EngineConfig ec = chunkedEngine();
+    ec.batch.streaming_prefill = false;
+    const ServeReport plain = runEngine(ec, tc);
+    EXPECT_EQ(plain.completed, 0u);
+    EXPECT_EQ(plain.failed, plain.requests);
+
+    ec.batch.streaming_prefill = true;
+    const ServeReport chunked = runEngine(ec, tc);
+    EXPECT_EQ(chunked.completed, chunked.requests);
+    EXPECT_EQ(chunked.failed, 0u);
+
+    const GenTrace trace = generateGenTrace(tc);
+    size_t prompt_tokens = 0;
+    for (const GenRequest &req : trace.requests)
+        prompt_tokens += req.prompt_len;
+    EXPECT_EQ(chunked.gen.prefill_tokens, prompt_tokens);
+    // Each ~1000-token prefill needs >= 4 steps of 256; a one-step-
+    // per-prefill engine could never exceed one step per request.
+    EXPECT_GT(chunked.gen.prefill_steps, chunked.requests);
+    // Completed sequences still emit exactly their output budget.
+    for (const RequestOutcome &out : chunked.outcomes)
+        EXPECT_EQ(out.generated, trace.requests[out.id].output_len);
+}
+
+TEST(ContinuousBatching, StreamingPrefillNoOpForShortPrompts)
+{
+    // Prompts under the step budget take the exact legacy schedule:
+    // the flag must not perturb a single bit of the report.
+    const GenTraceConfig tc = smallGenTrace(40, 300.0);
+    EngineConfig ec = smallEngine(2);
+    const ServeReport plain = runEngine(ec, tc);
+    ec.batch.streaming_prefill = true;
+    const ServeReport chunked = runEngine(ec, tc);
+    expectIdentical(plain, chunked);
+    EXPECT_GT(plain.completed, 0u);
+}
+
+TEST(ContinuousBatching, ChunkedPrefillBitIdenticalAt1And8Threads)
+{
+    auto [serial, parallel] = atBothThreadCounts(
+        [] { return runEngine(chunkedEngine(), longPromptTrace(10)); });
+    expectIdentical(serial, parallel);
+    EXPECT_GT(serial.completed, 0u);
+}
+
 } // namespace
 } // namespace dota

@@ -80,5 +80,67 @@ TEST(Dataflow, RoundsMatchBalancedK)
     EXPECT_EQ(stats.rounds, k * (64 / 4));
 }
 
+// ------------------------------------------------ streaming tiled
+
+TEST(Dataflow, StreamingWorkedExampleFigure8)
+{
+    // Figure 8 mask, one group of 4 queries, tile = 2. Tiles [0,2),
+    // [2,4), [4,5) keep {0,1}, {2}, {4}: 2+1+1 issue rounds, 5+3+2
+    // connections, three contributing tiles, and per-group key loads
+    // hit the distinct-key lower bound by construction.
+    const auto s =
+        analyzeDataflow(figure8Mask(), Dataflow::StreamingTiled, 4, 2);
+    EXPECT_EQ(s.key_loads, 4u);
+    EXPECT_EQ(s.value_loads, 4u);
+    EXPECT_EQ(s.rounds, 4u);
+    EXPECT_EQ(s.connections, 10u);
+    EXPECT_EQ(s.ideal_loads, 4u);
+    EXPECT_EQ(s.tile_flushes, 3u);
+    // Weighted slot utilization: (5/8)*2 + (3/4)*1 + (2/4)*1 over 4.
+    EXPECT_NEAR(s.utilization, 0.625, 1e-12);
+}
+
+TEST(Dataflow, StreamingSkipsEmptyTiles)
+{
+    // Keys live only in tiles 0 and 3 of a 4-tile row; the two middle
+    // tiles must cost neither rounds nor flushes.
+    SparseMask m(2, 16);
+    m.setRow(0, {0, 1, 13});
+    m.setRow(1, {1, 12, 13});
+    const auto s = analyzeDataflow(m, Dataflow::StreamingTiled, 2, 4);
+    EXPECT_EQ(s.tile_flushes, 2u);
+    EXPECT_EQ(s.key_loads, 4u); // {0,1} + {12,13}, shared across rows
+    EXPECT_EQ(s.connections, 6u);
+    EXPECT_EQ(s.ideal_loads, 4u);
+}
+
+TEST(Dataflow, StreamingLoadsHitIdealBound)
+{
+    // Tiles partition the key axis, so each distinct key of a group
+    // issues exactly once: key_loads == ideal_loads on any mask.
+    Rng rng(175);
+    MaskProfile p;
+    p.retention = 0.1;
+    const SparseMask m = synthesizeMask(128, p, rng);
+    const auto s = analyzeDataflow(m, Dataflow::StreamingTiled, 4);
+    EXPECT_EQ(s.key_loads, s.ideal_loads);
+    EXPECT_EQ(s.value_loads, s.key_loads);
+    EXPECT_GT(s.tile_flushes, 0u);
+    EXPECT_GT(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.0);
+    // The OoO scheduler cannot beat the streaming bound on loads.
+    const auto ooo = analyzeDataflow(m, Dataflow::TokenParallelOoO, 4);
+    EXPECT_GE(ooo.key_loads, s.key_loads);
+}
+
+TEST(Dataflow, StreamingNameAndDefaultFlushesZeroElsewhere)
+{
+    EXPECT_EQ(dataflowName(Dataflow::StreamingTiled),
+              "streaming (tiled online-softmax)");
+    const auto ooo =
+        analyzeDataflow(figure8Mask(), Dataflow::TokenParallelOoO, 4);
+    EXPECT_EQ(ooo.tile_flushes, 0u);
+}
+
 } // namespace
 } // namespace dota

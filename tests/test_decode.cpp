@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "nn/attention_backend.hpp"
 #include "nn/decode.hpp"
 #include "workloads/synthetic_task.hpp"
 #include "workloads/trainer.hpp"
@@ -128,6 +129,41 @@ TEST(Decode, MatchesFullForwardDense)
         for (size_t c = 0; c < logits.cols(); ++c)
             EXPECT_NEAR(logits(0, c), full(t, c), 2e-4)
                 << "position " << t << " class " << c;
+    }
+}
+
+TEST(Decode, StreamingQueryPathMatchesDense)
+{
+    // Pinned streaming vs pinned dense decode of the same stream: the
+    // single-query online-softmax recurrence reassociates the softmax,
+    // so agreement is tolerance-level, not bitwise.
+    CausalLM model(lmCfg());
+    const std::vector<int> ids{3, 7, 1, 12, 5, 9, 0, 4};
+
+    DecodeState dense_state, stream_state;
+    dense_state.reset(model.config().layers);
+    stream_state.reset(model.config().layers);
+    for (size_t t = 0; t < ids.size(); ++t) {
+        Matrix dense_logits, stream_logits;
+        {
+            ScopedAttnChoice pin(AttnChoice::Dense);
+            dense_logits = decodeStep(model, dense_state, ids[t]);
+        }
+        {
+            ScopedAttnChoice pin(AttnChoice::Streaming);
+            stream_logits = decodeStep(model, stream_state, ids[t]);
+        }
+        EXPECT_TRUE(
+            Matrix::allClose(stream_logits, dense_logits, 1e-4f))
+            << "position " << t;
+    }
+    // The mass bookkeeping feeding DOTA eviction must agree too.
+    for (size_t l = 0; l < model.config().layers; ++l) {
+        const KvCache &a = dense_state.layers[l];
+        const KvCache &b = stream_state.layers[l];
+        ASSERT_EQ(a.mass.size(), b.mass.size());
+        for (size_t j = 0; j < a.mass.size(); ++j)
+            EXPECT_NEAR(a.mass[j], b.mass[j], 1e-5) << "key " << j;
     }
 }
 

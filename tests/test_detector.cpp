@@ -244,24 +244,30 @@ TEST(DetectorPipeline, WarmupReducesEstimationLoss)
     dc.sigma = 0.5;
     DotaDetector det(mc, dc);
 
-    // Measure initial loss with a single probe forward.
+    // Measure initial loss with a single probe forward. Inference-time
+    // L_MSE needs the true S, so the probe forces the dense path (the
+    // wantsFullScores contract; any other backend skips observeScores).
     det.config().apply_mask = false;
     det.config().train = false;
     model.setHook(&det);
+    model.setForceDense(true);
     Rng rng(141);
     det.consumeMseLoss();
     model.forward(task.sample(rng).features);
     const double before = det.consumeMseLoss();
     model.setHook(nullptr);
+    model.setForceDense(false);
 
     warmupDetector(model, task, det, 30, 2, 5e-3);
 
     det.config().apply_mask = false;
     det.config().train = false;
     model.setHook(&det);
+    model.setForceDense(true);
     model.forward(task.sample(rng).features);
     const double after = det.consumeMseLoss();
     model.setHook(nullptr);
+    model.setForceDense(false);
     EXPECT_LT(after, 0.8 * before);
 }
 

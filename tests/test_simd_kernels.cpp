@@ -321,6 +321,10 @@ class FixedMaskHook : public AttentionHook
 
 TEST(SimdKernels, AttentionSparsePathBitIdenticalToForcedDense)
 {
+    // Pin the CSR sparse-rows backend: this test asserts bit-identity
+    // to dense, which the streaming backend deliberately does not
+    // promise (so a DOTA_ATTN=streaming environment must not leak in).
+    ScopedAttnChoice pin(AttnChoice::Sparse);
     Rng rng(50);
     const size_t n = 40, dim = 32, heads = 4;
     MultiHeadAttention attn("t", 0, dim, heads, rng);

@@ -1,10 +1,15 @@
 /**
  * @file
- * Unit tests for the SparseMask representation.
+ * Unit tests for the SparseMask representation and edge cases of the
+ * CSR sparse-attention kernels that consume it.
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "tensor/ops.hpp"
 #include "tensor/sparse_mask.hpp"
+#include "tensor/sparse_ops.hpp"
 #include "tensor/topk.hpp"
 
 namespace dota {
@@ -77,6 +82,92 @@ TEST(SparseMask, EmptyMask)
     EXPECT_DOUBLE_EQ(m.density(), 0.0);
     EXPECT_TRUE(m.rowBalanced());
     EXPECT_EQ(m.distinctKeys(), 0u);
+}
+
+// --------------------------------------------- sparse-kernel edge cases
+
+TEST(SparseKernels, EmptyRowsProduceZeroOutput)
+{
+    // A row that keeps nothing must yield a zero output row (the
+    // all-masked convention of rowSoftmaxMasked), not NaN from 0/0.
+    Rng rng(66);
+    const size_t n = 9, d = 4;
+    const Matrix q = Matrix::randomNormal(n, d, rng);
+    const Matrix k = Matrix::randomNormal(n, d, rng);
+    const Matrix v = Matrix::randomNormal(n, d, rng);
+    SparseMask m(n, n);
+    for (size_t r = 0; r < n; ++r)
+        if (r != 0 && r != 4)
+            m.setRow(r, {static_cast<uint32_t>(r)});
+
+    const Matrix out = sparseMaskedAttention(q, k, v, m, 0.5f);
+    for (size_t c = 0; c < d; ++c) {
+        EXPECT_EQ(out(0, c), 0.0f);
+        EXPECT_EQ(out(4, c), 0.0f);
+    }
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            EXPECT_TRUE(std::isfinite(out(r, c)));
+}
+
+TEST(SparseKernels, FullRetentionBitIdenticalToDenseSoftmax)
+{
+    // 100% retention: the CSR path must reproduce the dense masked
+    // softmax bit-for-bit (the kernels share reduction contracts).
+    Rng rng(67);
+    const size_t n = 12, d = 8;
+    const Matrix q = Matrix::randomNormal(n, d, rng);
+    const Matrix k = Matrix::randomNormal(n, d, rng);
+    const Matrix v = Matrix::randomNormal(n, d, rng);
+    SparseMask full(n, n);
+    std::vector<uint32_t> all(n);
+    for (size_t c = 0; c < n; ++c)
+        all[c] = static_cast<uint32_t>(c);
+    for (size_t r = 0; r < n; ++r)
+        full.setRow(r, all);
+    const float sc = 1.0f / std::sqrt(static_cast<float>(d));
+
+    const Matrix sparse = sparseMaskedAttention(q, k, v, full, sc);
+    const Matrix dense = matmul(
+        rowSoftmaxMasked(scale(matmulBT(q, k), sc), full.toDense()), v);
+    ASSERT_EQ(sparse.rows(), dense.rows());
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            EXPECT_EQ(sparse(r, c), dense(r, c))
+                << "(" << r << ", " << c << ")";
+}
+
+TEST(SparseKernels, SingleTokenSequence)
+{
+    // n = 1: one query, one key, softmax over a single kept score.
+    Rng rng(68);
+    const Matrix q = Matrix::randomNormal(1, 6, rng);
+    const Matrix k = Matrix::randomNormal(1, 6, rng);
+    const Matrix v = Matrix::randomNormal(1, 6, rng);
+    SparseMask m(1, 1);
+    m.setRow(0, {0});
+    const Matrix out = sparseMaskedAttention(q, k, v, m, 1.0f);
+    // The lone probability is 1: output == value row.
+    for (size_t c = 0; c < 6; ++c)
+        EXPECT_NEAR(out(0, c), v(0, c), 1e-6f);
+}
+
+TEST(SparseKernels, SingleConnectionPerRowCopiesValues)
+{
+    // Each row keeps exactly one key: softmax collapses to 1 and the
+    // output row must equal that key's value row.
+    Rng rng(69);
+    const size_t n = 7, d = 5;
+    const Matrix q = Matrix::randomNormal(n, d, rng);
+    const Matrix k = Matrix::randomNormal(n, d, rng);
+    const Matrix v = Matrix::randomNormal(n, d, rng);
+    SparseMask m(n, n);
+    for (size_t r = 0; r < n; ++r)
+        m.setRow(r, {static_cast<uint32_t>((r + 3) % n)});
+    const Matrix out = sparseMaskedAttention(q, k, v, m, 0.25f);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            EXPECT_NEAR(out(r, c), v((r + 3) % n, c), 1e-6f);
 }
 
 } // namespace
