@@ -31,7 +31,8 @@
  *            [--requests N] [--arrival-seed S] [--out-min N]
  *            [--out-max N] [--kv-budget-mb M] [--page-tokens N]
  *            [--max-batch N] [--step-tokens N] [--no-evict] [--no-topk]
- *            [--streaming-prefill]
+ *            [--streaming-prefill] [--fault-plan SPEC] [--fault-seed S]
+ *            [--watchdog-ms W]
  *
  * Crash-safe training mode (src/train/): train a benchmark's tiny proxy
  * model with atomic checksummed checkpoints; kill it at any step and
@@ -125,7 +126,8 @@ usage()
         "[--page-tokens N]\n"
         "                [--max-batch N] [--step-tokens N] "
         "[--no-evict] [--no-topk]\n"
-        "                [--streaming-prefill]\n"
+        "                [--streaming-prefill] [--fault-plan SPEC]\n"
+        "                [--fault-seed S] [--watchdog-ms W]\n"
         "       dota_cli --train [--benchmark B] [--steps N] "
         "[--batch N]\n"
         "                [--train-seed S] [--checkpoint-dir D]\n"
@@ -252,6 +254,8 @@ parse(int argc, char **argv)
             opt.kv.dynamic_topk = false;
         } else if (arg == "--streaming-prefill") {
             opt.batch.streaming_prefill = true;
+        } else if (arg == "--watchdog-ms") {
+            opt.batch.watchdog_stall_ms = std::stod(need(i));
         } else if (arg == "--train") {
             opt.train = true;
         } else if (arg == "--steps") {
@@ -316,6 +320,23 @@ deviceKey(const CliOptions &opt)
     return opt.device;
 }
 
+/** Parse --fault-plan; malformed input prints the grammar, exits 2. */
+FaultPlan
+faultPlanOrDie(const CliOptions &opt)
+{
+    FaultPlan plan;
+    if (!opt.fault_plan.empty()) {
+        const FaultPlanParse parsed = tryParseFaultPlan(opt.fault_plan);
+        if (!parsed.ok) {
+            std::cerr << "error: " << parsed.error << "\n\n"
+                      << faultPlanGrammar() << "\n";
+            std::exit(2);
+        }
+        plan = parsed.plan;
+    }
+    return plan;
+}
+
 /** --serve: replay a seeded arrival trace under the fault plan. */
 int
 runServe(const CliOptions &opt)
@@ -328,16 +349,7 @@ runServe(const CliOptions &opt)
     sc.devices = {spec};
     sc.policy = opt.policy;
     const RequestTrace trace = generateTrace(opt.arrivals);
-    FaultPlan plan;
-    if (!opt.fault_plan.empty()) {
-        const FaultPlanParse parsed = tryParseFaultPlan(opt.fault_plan);
-        if (!parsed.ok) {
-            std::cerr << "error: " << parsed.error << "\n\n"
-                      << faultPlanGrammar() << "\n";
-            std::exit(2);
-        }
-        plan = parsed.plan;
-    }
+    const FaultPlan plan = faultPlanOrDie(opt);
     ServingSimulator sim(sc, bench);
     std::cout << "serving " << trace.requests.size() << " "
               << bench.name << " requests ("
@@ -374,6 +386,7 @@ runGenerate(const CliOptions &opt)
         std::exit(2);
     }
     const GenTrace trace = generateGenTrace(tc);
+    const FaultPlan plan = faultPlanOrDie(opt);
     GenerationEngine engine(ec, bench);
     std::cout << "generating for " << trace.requests.size() << " "
               << bench.name << " prompts ("
@@ -384,8 +397,9 @@ runGenerate(const CliOptions &opt)
               << engine.size() << "x " << spec.key << " ("
               << fmtBytes(double(ec.kv.budget_bytes))
               << " KV budget/device, " << engine.bytesPerToken()
-              << " B/token)\n\n";
-    const ServeReport rep = engine.run(trace);
+              << " B/token)\nfault plan: " << describeFaultPlan(plan)
+              << " (fault seed " << opt.fault_seed << ")\n\n";
+    const ServeReport rep = engine.run(trace, plan, opt.fault_seed);
     rep.print(std::cout);
     // Plain grep-friendly summary line (CI smoke asserts on it).
     std::cout << "TTFT p50=" << fmtNum(rep.gen.ttft_p50_ms, 2)
@@ -394,6 +408,18 @@ runGenerate(const CliOptions &opt)
               << "ms | TPOT p50=" << fmtNum(rep.gen.tpot_p50_ms, 3)
               << "ms | KV peak " << rep.gen.kv_peak_pages << "/"
               << rep.gen.kv_pages_total << " pages\n";
+    // Chaos summary (grep-friendly; only when chaos actually struck).
+    if (rep.failovers + rep.gen.corrupted_pages_detected +
+            rep.gen.transient_steps + rep.gen.watchdog_migrations >
+        0) {
+        std::cout << "chaos: failovers=" << rep.gen.prefill_failovers
+                  << "/" << rep.gen.decode_failovers
+                  << " wasted-decode=" << rep.gen.wasted_decode_tokens
+                  << " corrupted-pages="
+                  << rep.gen.corrupted_pages_detected
+                  << " recoveries=" << rep.gen.recoveries << " (p50="
+                  << fmtNum(rep.gen.recovery_p50_ms, 2) << "ms)\n";
+    }
     return 0;
 }
 

@@ -206,5 +206,77 @@ main()
                  "of the dead\naccelerators, and the retention ladder "
                  "(L0 full -> L2 aggressive) traded accuracy\nfor "
                  "latency while capacity was down.\n";
+
+    // Chaos generation: the token-grain engine under the same abuse —
+    // device kills mid-decode, a KV page corrupted in DRAM, transient
+    // step errors — with per-page CRC seals catching the corruption
+    // before any poisoned token is served (DESIGN.md §14).
+    std::cout << "\n== Chaos generation: continuous batching under "
+                 "faults ==\n\n";
+    GenTraceConfig gc;
+    gc.arrivals.rate_per_s = 400.0;
+    gc.arrivals.requests = 64;
+    gc.arrivals.seed = 71;
+    gc.out_min = 96;
+    gc.out_max = 256;
+    EngineConfig ec;
+    ec.accelerators = 3;
+    ec.mode = DotaMode::Full;
+    ec.batch.max_batch_seqs = 4;
+    ec.batch.watchdog_stall_ms = 25.0;
+    ec.policy.degrade_depth_1 = 3.0;
+    ec.policy.degrade_depth_2 = 6.0;
+    const GenTrace gtrace = generateGenTrace(gc);
+    const FaultPlan gplan = parseFaultPlan(
+        "kill:0@30,revive:0@95,kill:1@60,revive:1@150,corrupt:2@45,"
+        "corrupt:2@75,transient:0.01");
+    const uint64_t gen_fault_seed = 7;
+    std::cout << "trace: " << gtrace.requests.size()
+              << " generation requests (outputs 96-256 tokens), fleet "
+                 "of 3 DOTA accelerators\nfault plan: "
+              << describeFaultPlan(gplan) << " (fault seed "
+              << gen_fault_seed << ")\n\n";
+
+    const GenerationEngine gen(ec, bench);
+    const ServeReport ghealthy = gen.run(gtrace);
+    const ServeReport gchaos = gen.run(gtrace, gplan, gen_fault_seed);
+    Table g("healthy vs chaos generation (same arrival seed)");
+    g.header({"metric", "healthy", "chaos"});
+    g.addRow({"completed", fmtNum(double(ghealthy.completed), 0),
+              fmtNum(double(gchaos.completed), 0)});
+    g.addRow({"TTFT p50", fmtNum(ghealthy.gen.ttft_p50_ms, 2) + "ms",
+              fmtNum(gchaos.gen.ttft_p50_ms, 2) + "ms"});
+    g.addRow({"TTFT p99", fmtNum(ghealthy.gen.ttft_p99_ms, 2) + "ms",
+              fmtNum(gchaos.gen.ttft_p99_ms, 2) + "ms"});
+    g.addRow({"TPOT p50", fmtNum(ghealthy.gen.tpot_p50_ms, 3) + "ms",
+              fmtNum(gchaos.gen.tpot_p50_ms, 3) + "ms"});
+    g.addRow({"failovers (prefill/decode)",
+              format("{}/{}", ghealthy.gen.prefill_failovers,
+                     ghealthy.gen.decode_failovers),
+              format("{}/{}", gchaos.gen.prefill_failovers,
+                     gchaos.gen.decode_failovers)});
+    g.addRow({"wasted decode tokens",
+              fmtNum(double(ghealthy.gen.wasted_decode_tokens), 0),
+              fmtNum(double(gchaos.gen.wasted_decode_tokens), 0)});
+    g.addRow({"corrupted pages caught",
+              fmtNum(double(ghealthy.gen.corrupted_pages_detected), 0),
+              fmtNum(double(gchaos.gen.corrupted_pages_detected), 0)});
+    g.addRow({"recoveries (p95)",
+              format("{} ({}ms)", ghealthy.gen.recoveries,
+                     fmtNum(ghealthy.gen.recovery_p95_ms, 1)),
+              format("{} ({}ms)", gchaos.gen.recoveries,
+                     fmtNum(gchaos.gen.recovery_p95_ms, 1))});
+    g.addRow({"mean retention served",
+              fmtNum(ghealthy.mean_retention, 3),
+              fmtNum(gchaos.mean_retention, 3)});
+    g.print(std::cout);
+    std::cout << "\nzero lost requests (" << gchaos.requests << " = "
+              << gchaos.completed << " + " << gchaos.shed() << " + "
+              << gchaos.failed
+              << ") and zero corrupted tokens served: every completed "
+                 "request re-emitted its\nfull output budget after "
+                 "failover or quarantine, and both runs replay "
+                 "bit-for-bit\nfrom (arrival seed, fault plan, fault "
+                 "seed).\n";
     return 0;
 }

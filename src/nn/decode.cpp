@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "common/crc32.hpp"
 #include "nn/attention_backend.hpp"
 #include "tensor/streaming_attention.hpp"
 #include "tensor/topk.hpp"
@@ -102,6 +104,56 @@ kvBytes(const DecodeState &state)
     for (const KvCache &cache : state.layers)
         bytes += cache.bytes();
     return bytes;
+}
+
+std::vector<uint32_t>
+sealKv(const DecodeState &state)
+{
+    std::vector<uint32_t> seals;
+    seals.reserve(state.layers.size());
+    for (const KvCache &cache : state.layers) {
+        uint32_t crc = crc32(cache.k.data(),
+                             cache.k.size() * sizeof(float));
+        crc = crc32(cache.v.data(), cache.v.size() * sizeof(float),
+                    crc);
+        seals.push_back(crc);
+    }
+    return seals;
+}
+
+bool
+verifyKv(const DecodeState &state, const std::vector<uint32_t> &seals)
+{
+    return sealKv(state) == seals;
+}
+
+void
+corruptKv(DecodeState &state, size_t layer, KvFault mode)
+{
+    DOTA_ASSERT(layer < state.layers.size(),
+                "corruptKv: layer {} out of range", layer);
+    KvCache &cache = state.layers[layer];
+    DOTA_ASSERT(cache.length() > 0, "corruptKv: empty cache");
+    switch (mode) {
+      case KvFault::BitFlip: {
+        float &x = cache.k.data()[0];
+        uint32_t bits;
+        std::memcpy(&bits, &x, sizeof bits);
+        bits ^= 1u << 12; // a mantissa bit: value changes, stays finite
+        std::memcpy(&x, &bits, sizeof bits);
+        break;
+      }
+      case KvFault::ZeroRow:
+        std::fill(cache.k.row(0), cache.k.row(0) + cache.k.cols(),
+                  0.0f);
+        break;
+      case KvFault::TornWrite:
+        // Half of the last V row gets plausible-looking new values;
+        // only the stale seal betrays the torn update.
+        for (size_t j = 0; j < cache.v.cols() / 2 + 1; ++j)
+            cache.v.row(cache.v.rows() - 1)[j] += 0.0625f;
+        break;
+    }
 }
 
 namespace {

@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/transformer.hpp"
@@ -74,6 +75,35 @@ size_t evictWeak(DecodeState &state, double keep_fraction);
 
 /** Total KV bytes held by @p state across all layers. */
 size_t kvBytes(const DecodeState &state);
+
+// KV integrity (DESIGN.md §14) ------------------------------------------
+//
+// The serving engine's paged allocator tracks page seals at arena
+// grain; these helpers give the same contract to a real DecodeState:
+// seal the K/V payload after a write, verify before trusting it, and
+// recover by re-decoding the prefix — which, decoding being
+// deterministic and greedy, reproduces the continuation bit-for-bit.
+
+/** How corruptKv poisons one layer's cache (chaos-testing hook). */
+enum class KvFault
+{
+    BitFlip,   ///< one mantissa bit of one cached key flips
+    ZeroRow,   ///< a whole cached K row is wiped to zeros
+    TornWrite, ///< new values land in a V row without a re-seal
+};
+
+/** CRC32 seal per layer over the K then V payload of @p state. */
+std::vector<uint32_t> sealKv(const DecodeState &state);
+
+/** Whether @p state still matches @p seals (layer count included). */
+bool verifyKv(const DecodeState &state,
+              const std::vector<uint32_t> &seals);
+
+/**
+ * Corrupt layer @p layer of @p state in place (deterministically).
+ * The seals taken before are NOT updated — verifyKv must catch it.
+ */
+void corruptKv(DecodeState &state, size_t layer, KvFault mode);
 
 /**
  * Feed one token through @p model incrementally; returns the logits row

@@ -123,7 +123,7 @@ GenerationEngine::warm(const GenTrace &trace) const
 
 namespace {
 
-enum class GenEventType { Arrival, Step };
+enum class GenEventType { Fault, Arrival, Step, Probe, Watchdog };
 
 struct GenEvent
 {
@@ -131,7 +131,10 @@ struct GenEvent
     uint64_t seq = 0; ///< push order; the deterministic tie-break
     GenEventType type = GenEventType::Arrival;
     size_t id = 0;     // Arrival: request id
-    size_t device = 0; // Step
+    size_t device = 0; // Step / Fault / Probe / Watchdog
+    uint64_t epoch = 0; // Step: device epoch; Watchdog: progress stamp
+    FaultKind fkind = FaultKind::Kill; // Fault
+    double factor = 1.0;               // Fault (SlowStart)
 };
 
 struct GenEventLater
@@ -163,7 +166,13 @@ struct Running
 struct DevGen
 {
     bool busy = false;
+    bool alive = true;
+    double slow = 1.0;       ///< straggler service-time multiplier
     double step_start = 0.0;
+    double down_since = -1.0;
+    uint64_t epoch = 0;      ///< bumps on death: voids in-flight steps
+    uint64_t progress = 0;   ///< bumps per completed step (watchdog)
+    uint64_t watchdog_armed = ~0ull; ///< progress stamp when armed
     std::vector<Running> running;
     std::unique_ptr<PagedKvAllocator> alloc;
 };
@@ -172,6 +181,13 @@ struct DevGen
 
 ServeReport
 GenerationEngine::run(const GenTrace &trace) const
+{
+    return run(trace, FaultPlan{}, 1);
+}
+
+ServeReport
+GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
+                      uint64_t fault_seed) const
 {
     const size_t n = sim_.size();
     const BatchPolicy &bp = cfg_.batch;
@@ -219,7 +235,20 @@ GenerationEngine::run(const GenTrace &trace) const
 
     RobustDispatcher disp(cfg_.policy, n);
     std::vector<size_t> preemptions_of(rep.requests, 0);
+    std::vector<size_t> restarts_of(rep.requests, 0);
     std::vector<size_t> queued_at_step(rep.requests, 0);
+    std::vector<double> victim_since(rep.requests, -1.0);
+    std::vector<double> recoveries_ms;
+    size_t corrupt_cycle = 0;
+
+    // Random (MTBF) faults are generated out to twice the arrival
+    // horizon plus slack, so the drain phase stays under chaos too.
+    const double fault_horizon = trace.horizonMs() * 2.0 + 1000.0;
+    const FaultInjector injector(plan, n, fault_horizon, fault_seed);
+    // Transient draws and corruption victim picks use a stream forked
+    // off the same seed; the serial event loop fixes the draw order,
+    // so the run replays bit-for-bit at any thread count.
+    Rng chaos_rng(fault_seed ^ 0x9e3779b97f4a7c15ULL);
 
     std::priority_queue<GenEvent, std::vector<GenEvent>, GenEventLater>
         heap;
@@ -228,6 +257,17 @@ GenerationEngine::run(const GenTrace &trace) const
         ev.seq = seq++;
         heap.push(std::move(ev));
     };
+    // Faults enter the heap first: a fault and an arrival at the same
+    // instant resolve fault-first (the simulator's convention).
+    for (const FaultEvent &f : injector.schedule()) {
+        GenEvent ev;
+        ev.t = f.t_ms;
+        ev.type = GenEventType::Fault;
+        ev.device = f.device;
+        ev.fkind = f.kind;
+        ev.factor = f.factor;
+        push(std::move(ev));
+    }
     for (const GenRequest &r : trace.requests) {
         GenEvent ev;
         ev.t = r.arrival_ms;
@@ -250,15 +290,89 @@ GenerationEngine::run(const GenTrace &trace) const
         }
     };
 
+    /** Alive devices (>= 1 so the degrade divisor never hits zero). */
+    auto aliveCount = [&] {
+        size_t c = 0;
+        for (const DevGen &d : dev)
+            c += d.alive ? 1 : 0;
+        return std::max<size_t>(1, c);
+    };
+
     /** Terminal failure of @p id (KV infeasible / preempt-exhausted). */
     auto failRequest = [&](size_t id, double now, bool oom) {
         RequestOutcome &out = rep.outcomes[id];
         out.status = RequestStatus::Failed;
         out.finish_ms = now;
-        out.attempts = 1 + preemptions_of[id];
+        out.attempts = 1 + preemptions_of[id] + restarts_of[id];
         ++rep.failed;
         if (oom)
             ++gen.kv_ooms;
+    };
+
+    /**
+     * Re-queue a chaos victim (device death, KV quarantine, watchdog
+     * migration) for a full re-prefill on whatever device next has
+     * room. Its KV pages are already released by the caller. Work done
+     * so far is wasted; restarts are capped by the retry budget so a
+     * cursed request fails instead of thrashing forever.
+     */
+    auto readmitVictim = [&](const Running &r, double now) {
+        gen.wasted_prefill_tokens += r.prefill_done;
+        gen.wasted_decode_tokens += r.generated;
+        ++restarts_of[r.id];
+        if (restarts_of[r.id] > cfg_.policy.max_retries) {
+            failRequest(r.id, now, false);
+            return;
+        }
+        ++rep.retries;
+        const GenRequest &req = *reqs[r.id];
+        QueuedJob job;
+        job.req = Request{req.id, req.arrival_ms, req.prompt_len,
+                          req.deadline_ms};
+        job.attempts = restarts_of[r.id];
+        disp.admit(job, /*forced=*/true);
+        queued_at_step[r.id] = gen.steps;
+        rep.outcomes[r.id].status = RequestStatus::ShedStarved;
+        victim_since[r.id] = now;
+    };
+
+    /**
+     * Integrity gate of device @p a: seal-check every resident
+     * sequence; any with a poisoned page is quarantined (the bad
+     * frames leave capacity) and re-prefilled — no token computed from
+     * corrupted KV is ever served.
+     */
+    auto sweepCorruption = [&](size_t a, double now) {
+        DevGen &d = dev[a];
+        for (size_t i = 0; i < d.running.size();) {
+            if (d.alloc->verifySeq(d.running[i].id) == 0) {
+                ++i;
+                continue;
+            }
+            const Running victim = d.running[i];
+            gen.corrupted_pages_detected +=
+                d.alloc->quarantineSeq(victim.id);
+            ++gen.corruption_reprefills;
+            d.running.erase(d.running.begin() +
+                            static_cast<ptrdiff_t>(i));
+            readmitVictim(victim, now);
+        }
+    };
+
+    /** Bound the decode stall of @p a's residents (0 = disabled). */
+    auto armWatchdog = [&](size_t a, double now) {
+        if (bp.watchdog_stall_ms <= 0.0)
+            return;
+        DevGen &d = dev[a];
+        if (d.running.empty() || d.watchdog_armed == d.progress)
+            return; // nothing to guard / already armed for this stall
+        d.watchdog_armed = d.progress;
+        GenEvent ev;
+        ev.t = now + bp.watchdog_stall_ms;
+        ev.type = GenEventType::Watchdog;
+        ev.device = a;
+        ev.epoch = d.progress;
+        push(std::move(ev));
     };
 
     /**
@@ -302,8 +416,14 @@ GenerationEngine::run(const GenTrace &trace) const
     /** Form and launch the next step of device @p a, if any. */
     auto formStep = [&](size_t a, double now) {
         DevGen &d = dev[a];
-        if (d.busy)
+        if (!d.alive || d.busy)
             return;
+        // Verify seals before the residents are read again this step.
+        sweepCorruption(a, now);
+        if (disp.breakerOpen(a, now)) {
+            armWatchdog(a, now); // residents stall while cooling down
+            return;
+        }
         const bool chunked = bp.streaming_prefill;
         size_t used_tokens = 0;
         for (Running &r : d.running)
@@ -323,8 +443,11 @@ GenerationEngine::run(const GenTrace &trace) const
             r.step_chunk = std::max<size_t>(1, std::min(remaining, left));
             used_tokens += r.step_chunk;
         }
+        // Dead devices deepen the ladder: the same queue over less
+        // capacity is more pressure, so fault-shrunk fleets shed
+        // retention before they shed requests.
         const size_t level_now =
-            disp.degradeLevel(disp.queueDepth(), n);
+            disp.degradeLevel(disp.queueDepth(), aliveCount());
         // Strict-FIFO admission: the head is never skipped, so no
         // queued request can starve while others are admitted.
         for (;;) {
@@ -333,13 +456,26 @@ GenerationEngine::run(const GenTrace &trace) const
                 break;
             const size_t id = head->req.id;
             const size_t prompt = head->req.seq_len;
-            if ((!chunked && prompt > bp.max_step_tokens) ||
-                !d.alloc->feasible(prompt + 1)) {
+            if (!chunked && prompt > bp.max_step_tokens) {
                 // Deterministic fail-fast: this prompt can never be
-                // scheduled (step budget or an empty arena too small),
-                // and holding the FIFO head would starve the queue.
-                // Streaming prefill lifts the step-budget limit — only
-                // KV infeasibility remains terminal.
+                // scheduled under the step budget, and holding the
+                // FIFO head would starve the queue. Streaming prefill
+                // lifts the limit.
+                disp.pop();
+                failRequest(id, now, true);
+                continue;
+            }
+            if (!d.alloc->feasible(prompt + 1)) {
+                // This arena is too small even empty — possible only
+                // after quarantine shrank it (pristine infeasibility
+                // is shed at arrival). Another device may still hold
+                // the prompt; fail fast only when none alive can.
+                bool anywhere = false;
+                for (size_t b = 0; b < n && !anywhere; ++b)
+                    anywhere = dev[b].alive &&
+                               dev[b].alloc->feasible(prompt + 1);
+                if (anywhere)
+                    break; // leave the head for the healthier arena
                 disp.pop();
                 failRequest(id, now, true);
                 continue;
@@ -375,9 +511,15 @@ GenerationEngine::run(const GenTrace &trace) const
                             "request {} starved {} steps (budget {})",
                             id, wait, bp.starve_step_budget);
             }
+            if (victim_since[id] >= 0.0) {
+                // A chaos victim is back in prefill: recovered.
+                recoveries_ms.push_back(now - victim_since[id]);
+                victim_since[id] = -1.0;
+                ++gen.recoveries;
+            }
             RequestOutcome &out = rep.outcomes[id];
             out.dispatch_ms = now;
-            out.attempts = 1 + preemptions_of[id];
+            out.attempts = 1 + preemptions_of[id] + restarts_of[id];
         }
         if (d.running.empty())
             return;
@@ -394,9 +536,10 @@ GenerationEngine::run(const GenTrace &trace) const
         d.busy = true;
         d.step_start = now;
         GenEvent ev;
-        ev.t = now + dur;
+        ev.t = now + dur * d.slow; // straggler interval, if any
         ev.type = GenEventType::Step;
         ev.device = a;
+        ev.epoch = d.epoch;
         push(std::move(ev));
         samplePeak();
     };
@@ -412,8 +555,104 @@ GenerationEngine::run(const GenTrace &trace) const
         const double now = ev.t;
         horizon = std::max(horizon, now);
         switch (ev.type) {
+          case GenEventType::Fault: {
+            DevGen &d = dev[ev.device];
+            const size_t a = ev.device;
+            switch (ev.fkind) {
+              case FaultKind::Kill: {
+                if (!d.alive)
+                    break;
+                d.alive = false;
+                d.down_since = now;
+                ++d.epoch;    // voids the in-flight step event
+                ++d.progress; // disarms any pending watchdog
+                if (d.busy) {
+                    // The partial step is still paid for.
+                    rep.devices[a].busy_ms += now - d.step_start;
+                    d.busy = false;
+                }
+                // Fail-over every resident: pages released here, the
+                // request re-prefills on whatever device next has room.
+                for (const Running &r : d.running) {
+                    ++rep.failovers;
+                    if (r.prefill)
+                        ++gen.prefill_failovers;
+                    else
+                        ++gen.decode_failovers;
+                    d.alloc->freeSeq(r.id);
+                    readmitVictim(r, now);
+                }
+                d.running.clear();
+                break;
+              }
+              case FaultKind::Revive:
+                if (d.alive)
+                    break;
+                d.alive = true;
+                rep.devices[a].down_intervals.push_back(
+                    {d.down_since, now});
+                d.down_since = -1.0;
+                break;
+              case FaultKind::SlowStart:
+                d.slow = ev.factor;
+                break;
+              case FaultKind::SlowEnd:
+                d.slow = 1.0;
+                break;
+              case FaultKind::Corrupt: {
+                if (!d.alive)
+                    break; // a dead device's arena is already empty
+                const std::vector<uint32_t> used =
+                    d.alloc->usedPageList();
+                if (used.empty())
+                    break;
+                const uint32_t page = used[chaos_rng.uniformInt(
+                    static_cast<uint64_t>(used.size()))];
+                d.alloc->corruptPage(
+                    page,
+                    static_cast<KvCorruption>(corrupt_cycle++ % 3));
+                break;
+              }
+            }
+            formAll(now);
+            break;
+          }
+          case GenEventType::Probe: {
+            formAll(now); // a breaker cooldown expired
+            break;
+          }
+          case GenEventType::Watchdog: {
+            DevGen &d = dev[ev.device];
+            if (!d.alive || d.busy || d.running.empty() ||
+                ev.epoch != d.progress)
+                break; // progress was made since arming: false alarm
+            // The device sat on residents for the whole stall budget:
+            // migrate them so their decode stall stays bounded.
+            ++d.progress;
+            for (const Running &r : d.running) {
+                ++gen.watchdog_migrations;
+                d.alloc->freeSeq(r.id);
+                readmitVictim(r, now);
+            }
+            d.running.clear();
+            formAll(now);
+            break;
+          }
           case GenEventType::Arrival: {
             const GenRequest &req = *reqs[ev.id];
+            if (dev[0].alloc->pagesFor(req.prompt_len + 1) >
+                dev[0].alloc->totalPages()) {
+                // The prompt (plus its first generated token) exceeds
+                // a whole pristine arena: admitting it could only end
+                // in a retry/preempt livelock, so it is shed up-front
+                // as a counted rejection.
+                RequestOutcome &out = rep.outcomes[req.id];
+                out.status = RequestStatus::ShedInfeasible;
+                out.finish_ms = now;
+                ++rep.shed_infeasible;
+                formAll(now);
+                break;
+            }
             QueuedJob job;
             job.req = Request{req.id, req.arrival_ms, req.prompt_len,
                               req.deadline_ms};
@@ -431,8 +670,34 @@ GenerationEngine::run(const GenTrace &trace) const
           case GenEventType::Step: {
             DevGen &d = dev[ev.device];
             const size_t a = ev.device;
+            if (ev.epoch != d.epoch)
+                break; // stale: the device died mid-step
             d.busy = false;
             rep.devices[a].busy_ms += now - d.step_start;
+            // Integrity gate first: a sequence whose pages were
+            // poisoned mid-step has this step's work discarded — no
+            // corrupted token is ever served.
+            sweepCorruption(a, now);
+            if (injector.drawTransient(chaos_rng)) {
+                // Transient fault: the whole step's work is voided.
+                ++gen.steps;
+                ++gen.transient_steps;
+                ++rep.transient_errors;
+                ++rep.devices[a].failed_attempts;
+                if (disp.onFailure(a, now)) {
+                    ++rep.breaker_trips;
+                    GenEvent probe;
+                    probe.t = disp.breakerOpenUntil(a);
+                    probe.type = GenEventType::Probe;
+                    probe.device = a;
+                    push(std::move(probe));
+                }
+                armWatchdog(a, now);
+                formAll(now);
+                break;
+            }
+            disp.onSuccess(a);
+            ++d.progress;
             ++gen.steps;
             bool any_prefill = false, any_decode = false;
 
@@ -481,7 +746,8 @@ GenerationEngine::run(const GenTrace &trace) const
                 out.device = static_cast<int>(a);
                 out.dispatch_ms = r.dispatch_ms;
                 out.finish_ms = now;
-                out.attempts = 1 + preemptions_of[r.id];
+                out.attempts =
+                    1 + preemptions_of[r.id] + restarts_of[r.id];
                 out.level = r.level;
                 out.retention = sim_.retention(a, r.level);
                 out.generated = r.generated;
@@ -553,9 +819,11 @@ GenerationEngine::run(const GenTrace &trace) const
         }
     }
 
-    // The queue drains by construction (an idle device has an empty
-    // arena, and infeasible prompts fail fast at the head), but mirror
-    // the simulator's safety net so no request can ever be lost.
+    // On a healthy fleet the queue drains by construction (an idle
+    // device has an empty arena, and infeasible prompts fail fast at
+    // the head); under chaos, capacity can be gone for the rest of the
+    // run — whatever is still queued is shed as starved, so no request
+    // is ever lost.
     while (disp.queueDepth() > 0) {
         const QueuedJob job = disp.pop();
         RequestOutcome &out = rep.outcomes[job.req.id];
@@ -563,6 +831,21 @@ GenerationEngine::run(const GenTrace &trace) const
         out.finish_ms = horizon;
         ++rep.shed_starved;
     }
+
+    for (size_t a = 0; a < n; ++a) {
+        if (dev[a].down_since >= 0.0)
+            rep.devices[a].down_intervals.push_back(
+                {dev[a].down_since,
+                 std::max(horizon, dev[a].down_since)});
+        rep.devices[a].breaker_trips = disp.breakerTrips(a);
+        gen.quarantined_pages += dev[a].alloc->quarantinedPages();
+    }
+
+    std::sort(recoveries_ms.begin(), recoveries_ms.end());
+    gen.recovery_p50_ms = percentileSorted(recoveries_ms, 0.50);
+    gen.recovery_p95_ms = percentileSorted(recoveries_ms, 0.95);
+    gen.recovery_max_ms =
+        recoveries_ms.empty() ? 0.0 : recoveries_ms.back();
 
     gen.kv_peak_occupancy =
         gen.kv_pages_total > 0

@@ -30,6 +30,7 @@
  */
 #pragma once
 
+#include "serve/fault.hpp"
 #include "serve/kv_cache.hpp"
 #include "serve/simulator.hpp"
 
@@ -79,6 +80,15 @@ struct BatchPolicy
      * theorem rather than implementing a side channel around it.
      */
     size_t starve_step_budget = 0;
+
+    /**
+     * Chaos watchdog (0 disables): a device holding resident
+     * sequences that completes no step for this long (breaker open,
+     * repeated transient voids) has its residents force-migrated back
+     * to the queue — bounding every request's decode stall at the
+     * price of a re-prefill elsewhere.
+     */
+    double watchdog_stall_ms = 0.0;
 };
 
 /** KV-cache sizing and the DOTA eviction policy. */
@@ -141,6 +151,19 @@ class GenerationEngine
      * trace) => bit-identical ServeReport at any thread count.
      */
     ServeReport run(const GenTrace &trace) const;
+
+    /**
+     * Serve @p trace under the chaos described by @p plan: kill/slow/
+     * transient faults strike mid-prefill and mid-decode, corrupt
+     * events flip bits in resident KV pages (detected by the per-page
+     * CRC32 seals and quarantined before any token is served from
+     * them), and victims recover deterministically by re-prefill on a
+     * healthy device under capped restarts. Replayable bit-for-bit
+     * from (trace seed, plan, fault_seed) at any DOTA_THREADS; an
+     * empty plan is exactly the fault-free run.
+     */
+    ServeReport run(const GenTrace &trace, const FaultPlan &plan,
+                    uint64_t fault_seed) const;
 
     size_t size() const { return sim_.size(); }
 

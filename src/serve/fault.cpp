@@ -25,6 +25,8 @@ faultKindName(FaultKind kind)
         return "slow-start";
       case FaultKind::SlowEnd:
         return "slow-end";
+      case FaultKind::Corrupt:
+        return "corrupt";
     }
     DOTA_PANIC("unknown fault kind");
 }
@@ -124,7 +126,8 @@ tryParseFaultPlan(const std::string &spec)
                 !parseNum(args.substr(x + 1), token, res,
                           plan.repair_ms))
                 return res;
-        } else if (verb == "kill" || verb == "revive") {
+        } else if (verb == "kill" || verb == "revive" ||
+                   verb == "corrupt") {
             const size_t at = args.find('@');
             if (at == std::string::npos) {
                 res.ok = false;
@@ -136,8 +139,9 @@ tryParseFaultPlan(const std::string &spec)
             if (!parseDev(args.substr(0, at), token, res, ev.device) ||
                 !parseNum(args.substr(at + 1), token, res, ev.t_ms))
                 return res;
-            ev.kind = verb == "kill" ? FaultKind::Kill
-                                     : FaultKind::Revive;
+            ev.kind = verb == "kill"     ? FaultKind::Kill
+                      : verb == "revive" ? FaultKind::Revive
+                                         : FaultKind::Corrupt;
             plan.events.push_back(ev);
         } else if (verb == "slow") {
             const size_t at = args.find('@');
@@ -178,7 +182,7 @@ tryParseFaultPlan(const std::string &spec)
             res.ok = false;
             res.error = format("unknown fault-plan verb '{}' in '{}' "
                                "(expected kill, revive, slow, "
-                               "transient or mtbf)",
+                               "transient, corrupt or mtbf)",
                                verb, token);
             return res;
         }
@@ -206,6 +210,8 @@ faultPlanGrammar()
            "in [t0, t1)\n"
            "  transient:<p>              per-attempt transient failure "
            "probability\n"
+           "  corrupt:<dev>@<ms>         flip bits in one resident KV "
+           "page of <dev> at <ms>\n"
            "  mtbf:<mtbf_ms>x<repair_ms> random fail-stop faults per "
            "device\n"
            "example: kill:0@500,revive:0@900,transient:0.01";
@@ -219,6 +225,7 @@ describeFaultPlan(const FaultPlan &plan)
         switch (ev.kind) {
           case FaultKind::Kill:
           case FaultKind::Revive:
+          case FaultKind::Corrupt:
             parts.push_back(format("{}:{}@{}", faultKindName(ev.kind),
                                    ev.device, ev.t_ms));
             break;

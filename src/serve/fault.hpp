@@ -17,6 +17,8 @@
  *   revive:<dev>@<ms>          revival of device <dev> at <ms>
  *   slow:<dev>@<t0>-<t1>x<f>   <dev> serves f-times slower in [t0, t1)
  *   transient:<p>              per-attempt transient failure probability
+ *   corrupt:<dev>@<ms>         flip bits in one resident KV page of
+ *                              <dev> at <ms> (generation engine only)
  *   mtbf:<mtbf_ms>x<repair_ms> random fail-stop: exponential MTBF with
  *                              fixed repair time (per device)
  *
@@ -39,6 +41,7 @@ enum class FaultKind
     Revive,     ///< device returns to service
     SlowStart,  ///< straggler interval begins (factor-times slower)
     SlowEnd,    ///< straggler interval ends
+    Corrupt,    ///< memory fault: bits flip in one resident KV page
 };
 
 /** Display name, e.g. "kill". */

@@ -4,9 +4,44 @@
  */
 #include "serve/kv_cache.hpp"
 
+#include "common/crc32.hpp"
 #include "common/logging.hpp"
 
 namespace dota {
+
+std::string
+kvCorruptionName(KvCorruption mode)
+{
+    switch (mode) {
+      case KvCorruption::BitFlip:
+        return "bit-flip";
+      case KvCorruption::ZeroPage:
+        return "zero-page";
+      case KvCorruption::TornWrite:
+        return "torn-write";
+    }
+    DOTA_PANIC("unknown KV corruption mode");
+}
+
+namespace {
+
+/** SplitMix64 finalizer: spreads the write epoch into a payload. */
+uint64_t
+mixPayload(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+uint32_t
+sealOf(uint64_t payload)
+{
+    return crc32(&payload, sizeof payload);
+}
+
+} // namespace
 
 PagedKvAllocator::PagedKvAllocator(KvCacheConfig cfg) : cfg_(cfg)
 {
@@ -19,6 +54,16 @@ PagedKvAllocator::PagedKvAllocator(KvCacheConfig cfg) : cfg_(cfg)
                 cfg_.budget_bytes, pageBytes());
     for (size_t p = 0; p < total_pages_; ++p)
         free_.insert(static_cast<uint32_t>(p));
+    pages_.resize(total_pages_);
+}
+
+void
+PagedKvAllocator::stampPage(uint32_t page)
+{
+    Page &pg = pages_[page];
+    pg.payload = mixPayload(++write_epoch_ +
+                            (static_cast<uint64_t>(page) << 40));
+    pg.seal = sealOf(pg.payload);
 }
 
 bool
@@ -68,8 +113,15 @@ PagedKvAllocator::appendTokens(uint64_t seq_id, size_t tokens)
     const size_t grow = want - seq.pages.size();
     if (grow > free_.size())
         return false; // all-or-nothing: nothing allocated on OOM
-    for (size_t p = 0; p < grow; ++p)
+    // The former last page takes new token slots too: its contents
+    // change, so it is re-stamped and re-sealed like the fresh pages.
+    if (tokens > 0 && !seq.pages.empty() &&
+        seq.tokens % cfg_.page_tokens != 0)
+        stampPage(seq.pages.back());
+    for (size_t p = 0; p < grow; ++p) {
         seq.pages.push_back(allocPage());
+        stampPage(seq.pages.back());
+    }
     seq.tokens += tokens;
     notePeak();
     return true;
@@ -92,6 +144,10 @@ PagedKvAllocator::shrinkTo(uint64_t seq_id, size_t tokens)
         ++freed;
     }
     seq.tokens = tokens;
+    // Eviction compacts the survivors to the prefix — every surviving
+    // page is rewritten, so each gets a fresh stamp and seal.
+    for (uint32_t page : seq.pages)
+        stampPage(page);
     return freed;
 }
 
@@ -135,6 +191,91 @@ PagedKvAllocator::lookup(uint64_t seq_id, size_t index) const
                 it->second.tokens);
     return {it->second.pages[index / cfg_.page_tokens],
             static_cast<uint32_t>(index % cfg_.page_tokens)};
+}
+
+std::vector<uint32_t>
+PagedKvAllocator::usedPageList() const
+{
+    std::vector<uint32_t> used;
+    used.reserve(usedPages());
+    for (size_t p = 0; p < total_pages_; ++p) {
+        const uint32_t page = static_cast<uint32_t>(p);
+        if (free_.count(page) == 0 && quarantined_.count(page) == 0)
+            used.push_back(page);
+    }
+    return used;
+}
+
+void
+PagedKvAllocator::corruptPage(uint32_t page, KvCorruption mode)
+{
+    DOTA_ASSERT(page < total_pages_, "corruptPage: page {} out of "
+                "range",
+                page);
+    DOTA_ASSERT(free_.count(page) == 0 && quarantined_.count(page) == 0,
+                "corruptPage: page {} is not in use", page);
+    Page &pg = pages_[page];
+    switch (mode) {
+      case KvCorruption::BitFlip:
+        // CRC32 detects every single-bit error by construction.
+        pg.payload ^= 1ull << (page % 64);
+        break;
+      case KvCorruption::ZeroPage:
+        pg.payload = 0;
+        break;
+      case KvCorruption::TornWrite:
+        // New data landed but the seal write never completed.
+        pg.payload = mixPayload(pg.payload);
+        break;
+    }
+    // ZeroPage/TornWrite replace the payload wholesale; guard the
+    // astronomically unlikely (but deterministic) CRC collision so
+    // "corrupted implies detected" is an invariant, not a probability.
+    while (sealOf(pg.payload) == pg.seal)
+        pg.payload ^= 1;
+}
+
+bool
+PagedKvAllocator::verifyPage(uint32_t page) const
+{
+    DOTA_ASSERT(page < total_pages_, "verifyPage: page {} out of "
+                "range",
+                page);
+    const Page &pg = pages_[page];
+    return sealOf(pg.payload) == pg.seal;
+}
+
+size_t
+PagedKvAllocator::verifySeq(uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "verifySeq: unknown sequence {}",
+                seq_id);
+    size_t corrupt = 0;
+    for (uint32_t page : it->second.pages)
+        if (!verifyPage(page))
+            ++corrupt;
+    return corrupt;
+}
+
+size_t
+PagedKvAllocator::quarantineSeq(uint64_t seq_id)
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "quarantineSeq: unknown sequence {}",
+                seq_id);
+    size_t quarantined = 0;
+    for (uint32_t page : it->second.pages) {
+        if (verifyPage(page)) {
+            releasePage(page);
+        } else {
+            const bool inserted = quarantined_.insert(page).second;
+            DOTA_ASSERT(inserted, "page {} quarantined twice", page);
+            ++quarantined;
+        }
+    }
+    seqs_.erase(it);
+    return quarantined;
 }
 
 } // namespace dota

@@ -16,6 +16,14 @@
  * alloc/free/evict sequence see bit-identical page tables, occupancy
  * counters and OOM points. Admission control is a pure arithmetic
  * check (`canFit`), never a side effect.
+ *
+ * Integrity (DESIGN.md §14): every page carries a representative
+ * payload word that is stamped on write and sealed with a CRC32. A
+ * chaos run may corrupt resident pages in place (corruptPage); readers
+ * verify seals before trusting a sequence (verifySeq) and quarantine
+ * poisoned frames (quarantineSeq) — quarantined pages leave capacity
+ * until the arena is rebuilt, modeling a suspect DRAM frame taken out
+ * of rotation.
  */
 #pragma once
 
@@ -23,9 +31,21 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 namespace dota {
+
+/** How a fault corrupts one resident KV page. */
+enum class KvCorruption
+{
+    BitFlip,   ///< one bit of the payload flips (CRC catches all)
+    ZeroPage,  ///< the payload is wiped to zeros, seal left stale
+    TornWrite, ///< a new payload lands without updating the seal
+};
+
+/** Display name, e.g. "bit-flip". */
+std::string kvCorruptionName(KvCorruption mode);
 
 /** Sizing of one paged KV arena (one per serving device). */
 struct KvCacheConfig
@@ -65,9 +85,19 @@ class PagedKvAllocator
     }
     size_t totalPages() const { return total_pages_; }
     size_t freePages() const { return free_.size(); }
-    size_t usedPages() const { return total_pages_ - free_.size(); }
+    size_t usedPages() const
+    {
+        return total_pages_ - free_.size() - quarantined_.size();
+    }
     size_t usedBytes() const { return usedPages() * pageBytes(); }
     size_t budgetBytes() const { return cfg_.budget_bytes; }
+
+    /** Pages still trustworthy: total minus quarantined frames. */
+    size_t effectivePages() const
+    {
+        return total_pages_ - quarantined_.size();
+    }
+    size_t quarantinedPages() const { return quarantined_.size(); }
 
     /** Pages needed to hold @p tokens KV entries. */
     size_t pagesFor(size_t tokens) const
@@ -78,10 +108,13 @@ class PagedKvAllocator
     /** Whether @p tokens KV entries could be appended right now. */
     bool canFit(size_t tokens) const;
 
-    /** Whether @p tokens entries could ever fit in an empty arena. */
+    /**
+     * Whether @p tokens entries could ever fit in an empty arena
+     * (quarantined frames excluded — they no longer hold anything).
+     */
     bool feasible(size_t tokens) const
     {
-        return pagesFor(tokens) <= total_pages_;
+        return pagesFor(tokens) <= effectivePages();
     }
 
     // Sequence lifecycle ------------------------------------------------
@@ -117,6 +150,26 @@ class PagedKvAllocator
     std::pair<uint32_t, uint32_t> lookup(uint64_t seq_id,
                                          size_t index) const;
 
+    // Integrity ---------------------------------------------------------
+    /** Every in-use page, ascending — victim pool for fault injection. */
+    std::vector<uint32_t> usedPageList() const;
+
+    /** Corrupt one in-use page in place. The seal is NOT updated. */
+    void corruptPage(uint32_t page, KvCorruption mode);
+
+    /** Whether @p page's payload still matches its CRC32 seal. */
+    bool verifyPage(uint32_t page) const;
+
+    /** Seal-check every page of @p seq_id; returns #corrupt pages. */
+    size_t verifySeq(uint64_t seq_id) const;
+
+    /**
+     * Tear down @p seq_id after a failed verify: healthy pages return
+     * to the free list, poisoned pages move to quarantine (capacity
+     * shrinks). Returns the number of pages quarantined.
+     */
+    size_t quarantineSeq(uint64_t seq_id);
+
     // Telemetry ---------------------------------------------------------
     size_t peakUsedPages() const { return peak_used_pages_; }
     size_t peakUsedBytes() const { return peak_used_pages_ * pageBytes(); }
@@ -128,14 +181,26 @@ class PagedKvAllocator
         std::vector<uint32_t> pages;
     };
 
+    /** Physical frame state: representative payload + CRC32 seal. */
+    struct Page
+    {
+        uint64_t payload = 0;
+        uint32_t seal = 0;
+    };
+
     uint32_t allocPage();
     void releasePage(uint32_t page);
     void notePeak();
+    /** Stamp a fresh deterministic payload into @p page and seal it. */
+    void stampPage(uint32_t page);
 
     KvCacheConfig cfg_;
     size_t total_pages_ = 0;
     std::set<uint32_t> free_; ///< ordered: lowest page allocated first
+    std::set<uint32_t> quarantined_; ///< suspect frames out of rotation
     std::map<uint64_t, Seq> seqs_;
+    std::vector<Page> pages_;
+    uint64_t write_epoch_ = 0; ///< ticks per stamp: unique payloads
     size_t peak_used_pages_ = 0;
 };
 

@@ -25,6 +25,8 @@ requestStatusName(RequestStatus status)
         return "shed-expired";
       case RequestStatus::ShedStarved:
         return "shed-starved";
+      case RequestStatus::ShedInfeasible:
+        return "shed-infeasible";
       case RequestStatus::Failed:
         return "failed";
     }
@@ -34,7 +36,8 @@ requestStatusName(RequestStatus status)
 size_t
 ServeReport::shed() const
 {
-    return shed_queue_full + shed_expired + shed_starved;
+    return shed_queue_full + shed_expired + shed_starved +
+           shed_infeasible;
 }
 
 double
@@ -57,9 +60,9 @@ ServeReport::print(std::ostream &os) const
     t.addRow({"requests", fmtNum(double(requests), 0)});
     t.addRow({"completed", fmtNum(double(completed), 0)});
     t.addRow({"failed (retries exhausted)", fmtNum(double(failed), 0)});
-    t.addRow({"shed (full/expired/starved)",
-              format("{} ({}/{}/{})", shed(), shed_queue_full,
-                     shed_expired, shed_starved)});
+    t.addRow({"shed (full/expired/starved/infeasible)",
+              format("{} ({}/{}/{}/{})", shed(), shed_queue_full,
+                     shed_expired, shed_starved, shed_infeasible)});
     t.addRow({"retries", fmtNum(double(retries), 0)});
     t.addRow({"failovers", fmtNum(double(failovers), 0)});
     t.addRow({"transient errors", fmtNum(double(transient_errors), 0)});
@@ -114,6 +117,36 @@ ServeReport::print(std::ostream &os) const
                   format("{} / {}", gen.preemptions, gen.kv_ooms)});
         g.addRow({"max queue wait",
                   format("{} steps", gen.max_queue_wait_steps)});
+        const bool chaos = gen.prefill_failovers > 0 ||
+                           gen.decode_failovers > 0 ||
+                           gen.transient_steps > 0 ||
+                           gen.corrupted_pages_detected > 0 ||
+                           gen.watchdog_migrations > 0 ||
+                           gen.recoveries > 0;
+        if (chaos) {
+            g.addRow({"failovers (prefill/decode)",
+                      format("{} / {}", gen.prefill_failovers,
+                             gen.decode_failovers)});
+            g.addRow({"wasted tokens (prefill/decode)",
+                      format("{} / {}", gen.wasted_prefill_tokens,
+                             gen.wasted_decode_tokens)});
+            g.addRow({"transient-voided steps",
+                      fmtNum(double(gen.transient_steps), 0)});
+            g.addRow({"corrupted pages detected",
+                      fmtNum(double(gen.corrupted_pages_detected), 0)});
+            g.addRow({"corruption re-prefills",
+                      fmtNum(double(gen.corruption_reprefills), 0)});
+            g.addRow({"quarantined pages",
+                      fmtNum(double(gen.quarantined_pages), 0)});
+            g.addRow({"watchdog migrations",
+                      fmtNum(double(gen.watchdog_migrations), 0)});
+            g.addRow({"recovery p50/p95/max",
+                      format("{} / {} / {} ms ({} recoveries)",
+                             fmtNum(gen.recovery_p50_ms, 2),
+                             fmtNum(gen.recovery_p95_ms, 2),
+                             fmtNum(gen.recovery_max_ms, 2),
+                             gen.recoveries)});
+        }
         g.print(os);
     }
 

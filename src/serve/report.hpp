@@ -27,6 +27,7 @@ enum class RequestStatus
     ShedQueueFull,///< rejected at admission: queue over its bound
     ShedExpired,  ///< dropped at dispatch: waited past max queue age
     ShedStarved,  ///< never served: capacity gone for the rest of run
+    ShedInfeasible,///< rejected at admission: prompt exceeds KV arena
     Failed,       ///< all retry attempts exhausted
 };
 
@@ -110,6 +111,25 @@ struct GenMetrics
 
     // Fairness telemetry: longest queue wait in engine steps.
     size_t max_queue_wait_steps = 0;
+
+    // Chaos telemetry (zero on fault-free runs; DESIGN.md §14).
+    size_t prefill_failovers = 0; ///< victims killed mid-prefill
+    size_t decode_failovers = 0;  ///< victims killed mid-decode
+    size_t wasted_prefill_tokens = 0; ///< prefill work lost to faults
+    size_t wasted_decode_tokens = 0;  ///< decode tokens lost to faults
+    size_t transient_steps = 0;   ///< engine steps voided by transients
+    size_t corrupted_pages_detected = 0; ///< seal checks that tripped
+    size_t corruption_reprefills = 0; ///< requests re-prefilled after
+                                      ///< KV quarantine
+    size_t quarantined_pages = 0; ///< frames out of rotation at end
+    size_t watchdog_migrations = 0; ///< stalled residents force-moved
+
+    // Recovery latency: chaos eviction -> re-admission into prefill,
+    // over every recovered victim (failover or corruption).
+    size_t recoveries = 0;
+    double recovery_p50_ms = 0.0;
+    double recovery_p95_ms = 0.0;
+    double recovery_max_ms = 0.0;
 };
 
 /** Outcome of one serving run. */
@@ -122,6 +142,7 @@ struct ServeReport
     size_t shed_queue_full = 0;
     size_t shed_expired = 0;
     size_t shed_starved = 0;
+    size_t shed_infeasible = 0; ///< prompt can never fit the KV arena
     size_t shed() const;
 
     // Robustness activity.

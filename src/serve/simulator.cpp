@@ -432,6 +432,11 @@ ServingSimulator::run(const RequestTrace &trace, const FaultPlan &plan,
               case FaultKind::SlowEnd:
                 d.slow = 1.0;
                 break;
+              case FaultKind::Corrupt:
+                // KV-page corruption only has meaning for the
+                // generation engine; request-grain serving carries no
+                // resident state to poison.
+                break;
             }
             dispatchLoop(now);
             break;

@@ -67,6 +67,7 @@ expectIdentical(const ServeReport &a, const ServeReport &b)
     EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
     EXPECT_EQ(a.shed_expired, b.shed_expired);
     EXPECT_EQ(a.shed_starved, b.shed_starved);
+    EXPECT_EQ(a.shed_infeasible, b.shed_infeasible);
     EXPECT_EQ(a.retries, b.retries);
     EXPECT_EQ(a.failovers, b.failovers);
     EXPECT_EQ(a.transient_errors, b.transient_errors);
@@ -111,6 +112,22 @@ expectIdentical(const ServeReport &a, const ServeReport &b)
     EXPECT_EQ(a.gen.preemptions, b.gen.preemptions);
     EXPECT_EQ(a.gen.kv_ooms, b.gen.kv_ooms);
     EXPECT_EQ(a.gen.max_queue_wait_steps, b.gen.max_queue_wait_steps);
+
+    // Chaos telemetry (all-zero for fault-free runs).
+    EXPECT_EQ(a.gen.prefill_failovers, b.gen.prefill_failovers);
+    EXPECT_EQ(a.gen.decode_failovers, b.gen.decode_failovers);
+    EXPECT_EQ(a.gen.wasted_prefill_tokens, b.gen.wasted_prefill_tokens);
+    EXPECT_EQ(a.gen.wasted_decode_tokens, b.gen.wasted_decode_tokens);
+    EXPECT_EQ(a.gen.transient_steps, b.gen.transient_steps);
+    EXPECT_EQ(a.gen.corrupted_pages_detected,
+              b.gen.corrupted_pages_detected);
+    EXPECT_EQ(a.gen.corruption_reprefills, b.gen.corruption_reprefills);
+    EXPECT_EQ(a.gen.quarantined_pages, b.gen.quarantined_pages);
+    EXPECT_EQ(a.gen.watchdog_migrations, b.gen.watchdog_migrations);
+    EXPECT_EQ(a.gen.recoveries, b.gen.recoveries);
+    EXPECT_EQ(a.gen.recovery_p50_ms, b.gen.recovery_p50_ms);
+    EXPECT_EQ(a.gen.recovery_p95_ms, b.gen.recovery_p95_ms);
+    EXPECT_EQ(a.gen.recovery_max_ms, b.gen.recovery_max_ms);
 
     ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
     for (size_t i = 0; i < a.outcomes.size(); ++i) {

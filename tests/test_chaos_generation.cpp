@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Chaos-hardened generation tests (DESIGN.md §14): the generation
+ * engine run under an adversarial fault plan — two device kills
+ * mid-decode, KV-page corruption, transient step errors, watchdog
+ * active — must stay deterministic (bit-identical reports at
+ * DOTA_THREADS=1 and 8, pinned against
+ * tests/data/golden_chaos_generation.txt), conserve every request
+ * (completed + shed + failed = admitted), and never serve a corrupted
+ * token. Also pins the admission guard: a prompt that could never fit
+ * the KV arena is shed up-front as infeasible rather than admitted
+ * into a retry/preempt livelock.
+ *
+ * Regenerate the golden after an intentional engine change with:
+ *   DOTA_REGEN_GOLDEN=1 ./dota_serve_tests --gtest_filter='ChaosGeneration.*'
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "serve/engine.hpp"
+#include "serve/fault.hpp"
+#include "serve_test_util.hpp"
+
+namespace dota {
+namespace {
+
+constexpr uint64_t kFaultSeed = 7;
+
+/**
+ * The chaos scenario: both of devices 0 and 1 die while decode work is
+ * resident (and later revive), device 2 twice suffers a KV-page
+ * corruption, and every step carries a 1% transient-failure chance.
+ */
+FaultPlan
+chaosPlan()
+{
+    const FaultPlanParse parsed = tryParseFaultPlan(
+        "kill:0@30,revive:0@95,kill:1@60,revive:1@150,"
+        "corrupt:2@45,corrupt:2@75,transient:0.01");
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return parsed.plan;
+}
+
+GenTraceConfig
+chaosTrace()
+{
+    // Long output budgets keep decode work resident across the whole
+    // fault window, so the kills strike mid-decode and the corrupt
+    // events find pages to poison.
+    GenTraceConfig tc = test::smallGenTrace(48, 400.0, 71);
+    tc.out_min = 96;
+    tc.out_max = 256;
+    return tc;
+}
+
+EngineConfig
+chaosEngine()
+{
+    EngineConfig ec = test::smallEngine(3);
+    ec.policy.degrade_depth_1 = 3.0; // dead devices deepen the ladder
+    ec.policy.degrade_depth_2 = 6.0;
+    ec.batch.watchdog_stall_ms = 25.0;
+    return ec;
+}
+
+ServeReport
+chaosRun()
+{
+    const GenerationEngine engine(chaosEngine(),
+                                  benchmark(BenchmarkId::Text));
+    return engine.run(generateGenTrace(chaosTrace()), chaosPlan(),
+                      kFaultSeed);
+}
+
+// ----------------------------------------------------------- invariants
+
+TEST(ChaosGeneration, ConservesRequestsAndServesNoCorruptedToken)
+{
+    const ServeReport rep = chaosRun();
+    const GenTrace trace = generateGenTrace(chaosTrace());
+
+    // Every admitted request reaches exactly one terminal state even
+    // with two devices dying mid-run.
+    EXPECT_EQ(rep.requests, trace.requests.size());
+    EXPECT_EQ(rep.completed + rep.shed() + rep.failed, rep.requests);
+    EXPECT_GT(rep.completed, 0u);
+
+    // The kills actually struck in-flight decode work (the scenario the
+    // golden pins): at least two decode failovers, each victim's lost
+    // tokens counted as wasted and re-generated after failover.
+    EXPECT_GE(rep.gen.decode_failovers, 2u);
+    EXPECT_GE(rep.failovers,
+              rep.gen.prefill_failovers + rep.gen.decode_failovers);
+    EXPECT_GT(rep.gen.wasted_decode_tokens, 0u);
+
+    // Corruption was injected, detected and quarantined — never served:
+    // every completed request still emits exactly its output budget.
+    EXPECT_GE(rep.gen.corrupted_pages_detected, 1u);
+    EXPECT_GE(rep.gen.corruption_reprefills, 1u);
+    EXPECT_EQ(rep.gen.quarantined_pages, rep.gen.corrupted_pages_detected);
+    for (const RequestOutcome &out : rep.outcomes) {
+        if (out.status != RequestStatus::Completed)
+            continue;
+        EXPECT_EQ(out.generated, trace.requests[out.id].output_len)
+            << "request " << out.id;
+    }
+
+    // Recovery latency telemetry is consistent.
+    EXPECT_GT(rep.gen.recoveries, 0u);
+    EXPECT_LE(rep.gen.recovery_p50_ms, rep.gen.recovery_p95_ms);
+    EXPECT_LE(rep.gen.recovery_p95_ms, rep.gen.recovery_max_ms);
+}
+
+TEST(ChaosGeneration, ReplayableFromSeedTraceAndPlan)
+{
+    const ServeReport a = chaosRun();
+    const ServeReport b = chaosRun();
+    test::expectIdentical(a, b);
+}
+
+TEST(ChaosGeneration, EmptyPlanIsBitIdenticalToFaultFreeRun)
+{
+    const GenerationEngine engine(chaosEngine(),
+                                  benchmark(BenchmarkId::Text));
+    const GenTrace trace = generateGenTrace(chaosTrace());
+    const ServeReport plain = engine.run(trace);
+    const ServeReport chaos_off = engine.run(trace, FaultPlan{}, 999);
+    test::expectIdentical(plain, chaos_off);
+    EXPECT_EQ(plain.gen.transient_steps, 0u);
+    EXPECT_EQ(plain.gen.corrupted_pages_detected, 0u);
+}
+
+// ------------------------------------------------------ admission guard
+
+TEST(ChaosGeneration, InfeasiblePromptShedUpFrontNotLivelocked)
+{
+    // A 2 MB budget holds 256 tokens; every prompt is 400+ tokens, so
+    // none could ever fit even an empty arena. The guard must shed them
+    // all at arrival — no retries, no preemption churn, no livelock.
+    GenTraceConfig tc = test::smallGenTrace(20, 300.0);
+    tc.arrivals.len_min = 400;
+    tc.arrivals.len_max = 1024;
+    EngineConfig ec = test::smallEngine(2);
+    ec.kv.budget_bytes = 2ull << 20;
+    const GenerationEngine engine(ec, benchmark(BenchmarkId::Text));
+    const ServeReport rep = engine.run(generateGenTrace(tc));
+
+    EXPECT_EQ(rep.shed_infeasible, rep.requests);
+    EXPECT_EQ(rep.completed, 0u);
+    EXPECT_EQ(rep.failed, 0u);
+    EXPECT_EQ(rep.completed + rep.shed() + rep.failed, rep.requests);
+    EXPECT_EQ(rep.retries, 0u);
+    EXPECT_EQ(rep.gen.preemptions, 0u);
+    for (const RequestOutcome &out : rep.outcomes)
+        EXPECT_EQ(out.status, RequestStatus::ShedInfeasible);
+}
+
+// --------------------------------------------------------------- golden
+
+std::string
+goldenPath()
+{
+    return std::string(DOTA_TEST_DATA_DIR) +
+           "/golden_chaos_generation.txt";
+}
+
+/** Pinned fields: the generation headline plus the chaos telemetry. */
+std::vector<std::pair<std::string, std::string>>
+pinnedFields(const ServeReport &rep)
+{
+    auto hex = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%a", v);
+        return std::string(buf);
+    };
+    auto num = [](size_t v) { return std::to_string(v); };
+    const GenMetrics &g = rep.gen;
+    return {
+        {"completed", num(rep.completed)},
+        {"failed", num(rep.failed)},
+        {"shed", num(rep.shed())},
+        {"shed_infeasible", num(rep.shed_infeasible)},
+        {"retries", num(rep.retries)},
+        {"failovers", num(rep.failovers)},
+        {"transient_errors", num(rep.transient_errors)},
+        {"breaker_trips", num(rep.breaker_trips)},
+        {"ttft_p50_ms", hex(g.ttft_p50_ms)},
+        {"ttft_p99_ms", hex(g.ttft_p99_ms)},
+        {"tpot_p50_ms", hex(g.tpot_p50_ms)},
+        {"steps", num(g.steps)},
+        {"prefill_tokens", num(g.prefill_tokens)},
+        {"decode_tokens", num(g.decode_tokens)},
+        {"output_tokens", num(g.output_tokens)},
+        {"kv_peak_pages", num(g.kv_peak_pages)},
+        {"preemptions", num(g.preemptions)},
+        {"prefill_failovers", num(g.prefill_failovers)},
+        {"decode_failovers", num(g.decode_failovers)},
+        {"wasted_prefill_tokens", num(g.wasted_prefill_tokens)},
+        {"wasted_decode_tokens", num(g.wasted_decode_tokens)},
+        {"transient_steps", num(g.transient_steps)},
+        {"corrupted_pages_detected", num(g.corrupted_pages_detected)},
+        {"corruption_reprefills", num(g.corruption_reprefills)},
+        {"quarantined_pages", num(g.quarantined_pages)},
+        {"watchdog_migrations", num(g.watchdog_migrations)},
+        {"recoveries", num(g.recoveries)},
+        {"recovery_p50_ms", hex(g.recovery_p50_ms)},
+        {"recovery_p95_ms", hex(g.recovery_p95_ms)},
+        {"recovery_max_ms", hex(g.recovery_max_ms)},
+        {"completed_by_level_0",
+         num(rep.completed_by_level.size() > 0
+                 ? rep.completed_by_level[0]
+                 : 0)},
+        {"completed_by_level_1",
+         num(rep.completed_by_level.size() > 1
+                 ? rep.completed_by_level[1]
+                 : 0)},
+        {"completed_by_level_2",
+         num(rep.completed_by_level.size() > 2
+                 ? rep.completed_by_level[2]
+                 : 0)},
+        {"horizon_ms", hex(rep.horizon_ms)},
+    };
+}
+
+std::map<std::string, std::string>
+readGolden()
+{
+    std::ifstream in(goldenPath());
+    std::map<std::string, std::string> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key, value;
+        if (ls >> key >> value)
+            out[key] = value;
+    }
+    return out;
+}
+
+void
+writeGolden(const std::vector<std::pair<std::string, std::string>> &kv)
+{
+    std::ofstream out(goldenPath());
+    out << "# GenerationEngine chaos golden run (see "
+           "test_chaos_generation.cpp):\n"
+        << "# 48 Text prompts, poisson 400 req/s seed 71, 3x DOTA-F,\n"
+        << "# fault plan kill:0@30,revive:0@95,kill:1@60,revive:1@150,\n"
+        << "# corrupt:2@45,corrupt:2@75,transient:0.01 at fault seed 7,\n"
+        << "# watchdog 25 ms. Doubles are C99 hex floats. Regenerate\n"
+        << "# with DOTA_REGEN_GOLDEN=1 after intentional changes.\n";
+    for (const auto &[key, value] : kv)
+        out << key << " " << value << "\n";
+}
+
+void
+expectMatchesGolden(const ServeReport &rep)
+{
+    const auto golden = readGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << goldenPath()
+        << " — regenerate with DOTA_REGEN_GOLDEN=1";
+    for (const auto &[key, value] : pinnedFields(rep)) {
+        auto it = golden.find(key);
+        ASSERT_NE(it, golden.end()) << "field " << key;
+        EXPECT_EQ(value, it->second) << "field " << key;
+    }
+}
+
+TEST(ChaosGeneration, SerialRunMatchesGoldenFile)
+{
+    test::ScopedThreads serial(1);
+    const ServeReport rep = chaosRun();
+    if (envFlag("DOTA_REGEN_GOLDEN")) {
+        writeGolden(pinnedFields(rep));
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+    expectMatchesGolden(rep);
+}
+
+TEST(ChaosGeneration, ParallelRunMatchesGoldenExactly)
+{
+    if (envFlag("DOTA_REGEN_GOLDEN"))
+        GTEST_SKIP() << "regeneration pass";
+    test::ScopedThreads parallel(8);
+    expectMatchesGolden(chaosRun());
+}
+
+} // namespace
+} // namespace dota

@@ -129,8 +129,12 @@ TEST(ContinuousBatching, StrictFifoAdmissionNeverStarves)
 TEST(ContinuousBatching, PreemptionUnderKvPressureIsDeterministic)
 {
     // Starve the KV arena so decode growth must preempt: budget of a
-    // few hundred tokens against prompts of 128-1024.
+    // few hundred tokens against prompts that fit individually (any
+    // prompt that could never fit is now shed at arrival instead of
+    // entering the preemption machinery — see the admission guard).
     GenTraceConfig tc = smallGenTrace(30, 500.0);
+    tc.arrivals.len_min = 64;
+    tc.arrivals.len_max = 200;
     EngineConfig ec = smallEngine(2);
     ec.kv.evict_after_prefill = false; // keep full prompts resident
     ec.kv.dynamic_topk = false;
@@ -141,6 +145,7 @@ TEST(ContinuousBatching, PreemptionUnderKvPressureIsDeterministic)
     // The squeeze must actually bite, and every preempted-then-failed
     // or OOM-failed request still reaches a terminal state.
     EXPECT_GT(a.gen.preemptions + a.gen.kv_ooms, 0u);
+    EXPECT_EQ(a.shed_infeasible, 0u); // everything fits individually
     EXPECT_EQ(a.completed + a.shed() + a.failed, a.requests);
     EXPECT_LE(a.gen.kv_peak_bytes, a.gen.kv_budget_bytes);
 }

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * KV integrity tests (DESIGN.md §14), at both grains:
+ *
+ *  - Paged-arena seals (serve/kv_cache.hpp): every content-changing
+ *    write re-stamps and re-seals the page, every corruption mode
+ *    (bit-flip, zero-page, torn-write) is caught by verifyPage /
+ *    verifySeq, and quarantineSeq takes poisoned frames out of
+ *    capacity without leaking their healthy siblings.
+ *
+ *  - Real DecodeState seals (nn/decode.hpp): sealKv/verifyKv round-trip
+ *    over the K/V payload, every KvFault mode is detected, and the
+ *    recovery recipe — discard the poisoned state, re-decode the
+ *    prefix — reproduces the fault-free continuation bit-for-bit.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/decode.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve_test_util.hpp"
+
+namespace dota {
+namespace {
+
+KvCacheConfig
+tinyArena(size_t pages = 16, size_t page_tokens = 8)
+{
+    KvCacheConfig cfg;
+    cfg.page_tokens = page_tokens;
+    cfg.bytes_per_token = 64;
+    cfg.budget_bytes = pages * page_tokens * cfg.bytes_per_token;
+    return cfg;
+}
+
+// ------------------------------------------------- arena seal round-trip
+
+TEST(KvIntegrity, SealsSurviveAppendShrinkAndReuse)
+{
+    PagedKvAllocator a(tinyArena());
+    ASSERT_TRUE(a.createSeq(1));
+    ASSERT_TRUE(a.appendTokens(1, 3));  // partial page
+    ASSERT_TRUE(a.appendTokens(1, 20)); // re-stamps the partial page
+    ASSERT_TRUE(a.createSeq(2));
+    ASSERT_TRUE(a.appendTokens(2, 9));
+    EXPECT_EQ(a.shrinkTo(1, 10), 1u); // survivors re-stamped
+    a.freeSeq(2);
+    ASSERT_TRUE(a.createSeq(3));
+    ASSERT_TRUE(a.appendTokens(3, 16)); // reuses freed frames
+
+    // Every in-use page seals clean after any write interleaving.
+    for (uint32_t page : a.usedPageList())
+        EXPECT_TRUE(a.verifyPage(page)) << "page " << page;
+    EXPECT_EQ(a.verifySeq(1), 0u);
+    EXPECT_EQ(a.verifySeq(3), 0u);
+    EXPECT_EQ(a.quarantinedPages(), 0u);
+}
+
+// ------------------------------------------- every corruption mode caught
+
+TEST(KvIntegrity, EveryCorruptionModeIsDetected)
+{
+    for (const KvCorruption mode :
+         {KvCorruption::BitFlip, KvCorruption::ZeroPage,
+          KvCorruption::TornWrite}) {
+        PagedKvAllocator a(tinyArena());
+        ASSERT_TRUE(a.createSeq(1));
+        ASSERT_TRUE(a.appendTokens(1, 24)); // 3 pages
+        const std::vector<uint32_t> used = a.usedPageList();
+        ASSERT_EQ(used.size(), 3u);
+
+        const uint32_t victim = used[1];
+        a.corruptPage(victim, mode);
+        EXPECT_FALSE(a.verifyPage(victim)) << kvCorruptionName(mode);
+        EXPECT_EQ(a.verifySeq(1), 1u) << kvCorruptionName(mode);
+        // The other pages stay trustworthy.
+        EXPECT_TRUE(a.verifyPage(used[0]));
+        EXPECT_TRUE(a.verifyPage(used[2]));
+    }
+}
+
+// ------------------------------------------------------------ quarantine
+
+TEST(KvIntegrity, QuarantineRemovesPoisonedFramesFromCapacity)
+{
+    PagedKvAllocator a(tinyArena(8, 8)); // 8 pages, 64 token slots
+    ASSERT_TRUE(a.createSeq(1));
+    ASSERT_TRUE(a.appendTokens(1, 24)); // pages 0, 1, 2
+    ASSERT_TRUE(a.createSeq(2));
+    ASSERT_TRUE(a.appendTokens(2, 8)); // page 3
+
+    a.corruptPage(1, KvCorruption::TornWrite);
+    ASSERT_EQ(a.verifySeq(1), 1u);
+    EXPECT_EQ(a.quarantineSeq(1), 1u);
+
+    // Poisoned frame 1 leaves capacity; healthy frames 0 and 2 return
+    // to the free list and the innocent sequence is untouched.
+    EXPECT_FALSE(a.contains(1));
+    EXPECT_EQ(a.quarantinedPages(), 1u);
+    EXPECT_EQ(a.effectivePages(), 7u);
+    EXPECT_EQ(a.usedPages(), 1u);
+    EXPECT_EQ(a.freePages(), 6u);
+    EXPECT_EQ(a.seqTokens(2), 8u);
+    EXPECT_EQ(a.verifySeq(2), 0u);
+
+    // Feasibility shrinks with the arena: a full-arena prompt no longer
+    // fits, one page less does.
+    EXPECT_FALSE(a.feasible(8 * 8));
+    EXPECT_TRUE(a.feasible(7 * 8));
+
+    // The quarantined frame is never handed out again: fill the arena
+    // and check no page table contains it.
+    ASSERT_TRUE(a.createSeq(3));
+    ASSERT_TRUE(a.appendTokens(3, 6 * 8));
+    EXPECT_FALSE(a.appendTokens(3, 8)); // arena exhausted at 7 pages
+    for (uint32_t p : a.pageTable(3))
+        EXPECT_NE(p, 1u);
+}
+
+// ------------------------------------------------ decode-state integrity
+
+TransformerConfig
+lmCfg()
+{
+    TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.ffn_dim = 32;
+    cfg.vocab = 20;
+    cfg.max_seq = 40;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(KvIntegrity, DecodeSealsRoundTripAndCatchEveryFault)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> prefix{3, 7, 1, 12, 5};
+
+    for (const KvFault mode :
+         {KvFault::BitFlip, KvFault::ZeroRow, KvFault::TornWrite}) {
+        DecodeState state;
+        state.reset(model.config().layers);
+        for (int tok : prefix)
+            decodeStep(model, state, tok);
+
+        const std::vector<uint32_t> seals = sealKv(state);
+        ASSERT_EQ(seals.size(), model.config().layers);
+        EXPECT_TRUE(verifyKv(state, seals));
+
+        corruptKv(state, 1, mode);
+        EXPECT_FALSE(verifyKv(state, seals))
+            << "fault mode " << static_cast<int>(mode);
+    }
+
+    // Layer-count mismatch is a verification failure, not a crash.
+    DecodeState other;
+    other.reset(1);
+    EXPECT_FALSE(verifyKv(other, std::vector<uint32_t>(2, 0)));
+}
+
+TEST(KvIntegrity, RecoveryByReprefillIsBitIdentical)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> prefix{3, 7, 1, 12, 5};
+    const size_t steps = 8;
+
+    // Fault-free reference continuation (greedy: deterministic).
+    const std::vector<int> healthy = generate(model, prefix, steps);
+    ASSERT_EQ(healthy.size(), steps);
+
+    // Chaos path: prefill, corrupt, detect — then recover exactly the
+    // way the serving engine does, by discarding the poisoned state and
+    // re-prefilling from the prompt.
+    DecodeState state;
+    state.reset(model.config().layers);
+    for (int tok : prefix)
+        decodeStep(model, state, tok);
+    const std::vector<uint32_t> seals = sealKv(state);
+    corruptKv(state, 0, KvFault::BitFlip);
+    ASSERT_FALSE(verifyKv(state, seals));
+
+    const std::vector<int> recovered = generate(model, prefix, steps);
+    EXPECT_EQ(recovered, healthy)
+        << "re-prefill must reproduce the continuation bit-for-bit";
+}
+
+} // namespace
+} // namespace dota
