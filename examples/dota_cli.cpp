@@ -32,7 +32,8 @@
  *            [--out-max N] [--kv-budget-mb M] [--page-tokens N]
  *            [--max-batch N] [--step-tokens N] [--no-evict] [--no-topk]
  *            [--streaming-prefill] [--fault-plan SPEC] [--fault-seed S]
- *            [--watchdog-ms W]
+ *            [--watchdog-ms W] [--no-migration] [--migration-page-ms M]
+ *            [--probation-steps N] [--probation-seqs N]
  *
  * Crash-safe training mode (src/train/): train a benchmark's tiny proxy
  * model with atomic checksummed checkpoints; kill it at any step and
@@ -90,6 +91,7 @@ struct CliOptions
     size_t out_max = 256;
     BatchPolicy batch;
     KvPolicy kv;
+    MigrationPolicy migrate;
     // --train mode
     bool train = false;
     size_t train_steps = 40;
@@ -128,6 +130,8 @@ usage()
         "[--no-evict] [--no-topk]\n"
         "                [--streaming-prefill] [--fault-plan SPEC]\n"
         "                [--fault-seed S] [--watchdog-ms W]\n"
+        "                [--no-migration] [--migration-page-ms M]\n"
+        "                [--probation-steps N] [--probation-seqs N]\n"
         "       dota_cli --train [--benchmark B] [--steps N] "
         "[--batch N]\n"
         "                [--train-seed S] [--checkpoint-dir D]\n"
@@ -256,6 +260,14 @@ parse(int argc, char **argv)
             opt.batch.streaming_prefill = true;
         } else if (arg == "--watchdog-ms") {
             opt.batch.watchdog_stall_ms = std::stod(need(i));
+        } else if (arg == "--no-migration") {
+            opt.migrate.enabled = false;
+        } else if (arg == "--migration-page-ms") {
+            opt.migrate.page_ms = std::stod(need(i));
+        } else if (arg == "--probation-steps") {
+            opt.migrate.probation_steps = std::stoul(need(i));
+        } else if (arg == "--probation-seqs") {
+            opt.migrate.probation_seqs = std::stoul(need(i));
         } else if (arg == "--train") {
             opt.train = true;
         } else if (arg == "--steps") {
@@ -377,6 +389,7 @@ runGenerate(const CliOptions &opt)
     ec.policy = opt.policy;
     ec.batch = opt.batch;
     ec.kv = opt.kv;
+    ec.migrate = opt.migrate;
     GenTraceConfig tc;
     tc.arrivals = opt.arrivals;
     tc.out_min = opt.out_min;
@@ -410,7 +423,8 @@ runGenerate(const CliOptions &opt)
               << rep.gen.kv_pages_total << " pages\n";
     // Chaos summary (grep-friendly; only when chaos actually struck).
     if (rep.failovers + rep.gen.corrupted_pages_detected +
-            rep.gen.transient_steps + rep.gen.watchdog_migrations >
+            rep.gen.transient_steps + rep.gen.watchdog_migrations +
+            rep.gen.migrations + rep.gen.drains >
         0) {
         std::cout << "chaos: failovers=" << rep.gen.prefill_failovers
                   << "/" << rep.gen.decode_failovers
@@ -419,6 +433,15 @@ runGenerate(const CliOptions &opt)
                   << rep.gen.corrupted_pages_detected
                   << " recoveries=" << rep.gen.recoveries << " (p50="
                   << fmtNum(rep.gen.recovery_p50_ms, 2) << "ms)\n";
+        std::cout << "migration: migrated=" << rep.gen.migrations
+                  << " drains=" << rep.gen.drains
+                  << " pages=" << rep.gen.migrated_pages
+                  << " saved-prefill=" << rep.gen.saved_prefill_tokens
+                  << " wasted-prefill=" << rep.gen.wasted_prefill_tokens
+                  << " no-target=" << rep.gen.migration_no_target
+                  << " poisoned=" << rep.gen.migration_poisoned
+                  << " (p50=" << fmtNum(rep.gen.migration_p50_ms, 2)
+                  << "ms)\n";
     }
     return 0;
 }

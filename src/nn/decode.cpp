@@ -156,6 +156,27 @@ corruptKv(DecodeState &state, size_t layer, KvFault mode)
     }
 }
 
+KvTransfer
+exportKv(const DecodeState &state)
+{
+    KvTransfer transfer;
+    transfer.seals = sealKv(state);
+    transfer.state = state; // deep copy: the source may die after this
+    return transfer;
+}
+
+bool
+importKv(const KvTransfer &transfer, DecodeState &dst)
+{
+    // Verify-on-arrival: the payload must still match the seals taken
+    // at departure. On mismatch the receiver keeps its own state — the
+    // caller falls back to re-decoding the prefix.
+    if (!verifyKv(transfer.state, transfer.seals))
+        return false;
+    dst = transfer.state;
+    return true;
+}
+
 namespace {
 
 /** Incremental attention for one new token against a cache. */

@@ -105,6 +105,31 @@ bool verifyKv(const DecodeState &state,
  */
 void corruptKv(DecodeState &state, size_t layer, KvFault mode);
 
+// Live KV migration (DESIGN.md §15) -------------------------------------
+//
+// Model-grain counterpart of the serving arena's exportSeq/importSeq:
+// a decode session's whole K/V state travels with its per-layer seals,
+// and the receiver re-verifies before adopting it — so a migrated
+// continuation is bit-identical to the uninterrupted run, and a
+// transfer corrupted in flight is refused whole.
+
+/** A decode session in transit: per-layer seals + the K/V payload. */
+struct KvTransfer
+{
+    std::vector<uint32_t> seals; ///< sealKv() at departure
+    DecodeState state;           ///< deep copy of the session
+};
+
+/** Package @p state for migration (seals taken at departure). */
+KvTransfer exportKv(const DecodeState &state);
+
+/**
+ * Adopt @p transfer into @p dst after re-verifying every layer seal
+ * (verify-on-arrival). Returns false — with @p dst untouched — when
+ * any seal mismatches; true once @p dst holds the migrated session.
+ */
+bool importKv(const KvTransfer &transfer, DecodeState &dst);
+
 /**
  * Feed one token through @p model incrementally; returns the logits row
  * (1 x vocab). @p retention < 1 keeps only the top fraction of cached

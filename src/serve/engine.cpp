@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -123,14 +124,22 @@ GenerationEngine::warm(const GenTrace &trace) const
 
 namespace {
 
-enum class GenEventType { Fault, Arrival, Step, Probe, Watchdog };
+enum class GenEventType
+{
+    Fault,
+    Arrival,
+    Step,
+    Probe,
+    Watchdog,
+    Migration, ///< a sequence's sealed KV pages land on their target
+};
 
 struct GenEvent
 {
     double t = 0.0;
     uint64_t seq = 0; ///< push order; the deterministic tie-break
     GenEventType type = GenEventType::Arrival;
-    size_t id = 0;     // Arrival: request id
+    size_t id = 0;     // Arrival: request id; Migration: transfer id
     size_t device = 0; // Step / Fault / Probe / Watchdog
     uint64_t epoch = 0; // Step: device epoch; Watchdog: progress stamp
     FaultKind fkind = FaultKind::Kill; // Fault
@@ -167,6 +176,9 @@ struct DevGen
 {
     bool busy = false;
     bool alive = true;
+    bool draining = false;   ///< evacuating; down once residents leave
+    bool probation = false;  ///< revived: reduced duty until proven
+    size_t clean_steps = 0;  ///< transient-free steps since revival
     double slow = 1.0;       ///< straggler service-time multiplier
     double step_start = 0.0;
     double down_since = -1.0;
@@ -174,7 +186,27 @@ struct DevGen
     uint64_t progress = 0;   ///< bumps per completed step (watchdog)
     uint64_t watchdog_armed = ~0ull; ///< progress stamp when armed
     std::vector<Running> running;
+    /** Migrated sequences landed mid-step: joined at the next step
+     * boundary so an in-flight step's bookkeeping never covers them. */
+    std::vector<Running> inbox;
     std::unique_ptr<PagedKvAllocator> alloc;
+};
+
+/** Where a migration departed from — decides the fallback accounting. */
+enum class MigOrigin
+{
+    Kill,    ///< fail-stop: fallback counts a failover
+    Drain,   ///< planned evacuation degenerating into a failover
+    Watchdog ///< stall rescue: already counted at departure
+};
+
+/** One sequence's sealed KV pages in flight between arenas. */
+struct MigPending
+{
+    Running r;
+    KvSeqExport exp;
+    double depart_ms = 0.0;
+    MigOrigin origin = MigOrigin::Kill;
 };
 
 } // namespace
@@ -240,6 +272,15 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
     std::vector<double> victim_since(rep.requests, -1.0);
     std::vector<double> recoveries_ms;
     size_t corrupt_cycle = 0;
+
+    // Live KV migration (DESIGN.md §15): sealed pages in flight between
+    // arenas, keyed by transfer id. Everything runs inside the serial
+    // event loop, so victim order, target choice and landing times are
+    // identical at every DOTA_THREADS.
+    const MigrationPolicy &mp = cfg_.migrate;
+    std::map<uint64_t, MigPending> migrating;
+    uint64_t next_migration = 0;
+    std::vector<double> migration_ms;
 
     // Random (MTBF) faults are generated out to twice the arrival
     // horizon plus slack, so the drain phase stays under chaos too.
@@ -336,6 +377,80 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
         victim_since[r.id] = now;
     };
 
+    /** Join migrated arrivals at a step boundary of device @p a. */
+    auto mergeInbox = [&](size_t a) {
+        DevGen &d = dev[a];
+        for (const Running &r : d.inbox)
+            d.running.push_back(r);
+        d.inbox.clear();
+    };
+
+    /** Fallback accounting when a migration degrades to re-prefill. */
+    auto failoverCounters = [&](const Running &r, MigOrigin origin) {
+        if (origin == MigOrigin::Watchdog)
+            return; // watchdog victims were counted at departure
+        ++rep.failovers;
+        if (r.prefill)
+            ++gen.prefill_failovers;
+        else
+            ++gen.decode_failovers;
+    };
+
+    /**
+     * Start the live migration of resident @p r off device @p a: its
+     * sealed pages are copied into an in-transit image, the source copy
+     * is torn down (healthy frames freed, poisoned ones quarantined —
+     * poisoned images still travel so verify-on-arrival catches them),
+     * and a Migration event lands pages * page_ms later. Returns false
+     * with nothing done when migration is disabled — the caller then
+     * takes the classic re-prefill path.
+     */
+    auto migrateOut = [&](size_t a, const Running &r, double now,
+                          MigOrigin origin) {
+        if (!mp.enabled)
+            return false;
+        DevGen &d = dev[a];
+        MigPending p;
+        p.r = r;
+        p.exp = d.alloc->exportSeq(r.id);
+        p.depart_ms = now;
+        p.origin = origin;
+        const size_t npages = p.exp.pages.size();
+        gen.corrupted_pages_detected += d.alloc->quarantineSeq(r.id);
+        const uint64_t mig = next_migration++;
+        migrating.emplace(mig, std::move(p));
+        GenEvent ev;
+        ev.t = now + mp.page_ms * double(npages);
+        ev.type = GenEventType::Migration;
+        ev.id = static_cast<size_t>(mig);
+        push(std::move(ev));
+        return true;
+    };
+
+    /**
+     * Complete the graceful drain of device @p a: every resident
+     * live-migrates out (or re-prefills when migration is off), then
+     * the device goes down for its planned maintenance — a later
+     * revive brings it back through probation.
+     */
+    auto finishDrain = [&](size_t a, double now) {
+        DevGen &d = dev[a];
+        mergeInbox(a);
+        for (const Running &r : d.running) {
+            if (migrateOut(a, r, now, MigOrigin::Drain))
+                continue;
+            failoverCounters(r, MigOrigin::Drain);
+            d.alloc->freeSeq(r.id);
+            readmitVictim(r, now);
+        }
+        d.running.clear();
+        d.draining = false;
+        d.alive = false;
+        d.down_since = now;
+        ++d.epoch;    // voids any event addressed to the old life
+        ++d.progress; // disarms any pending watchdog
+    };
+
     /**
      * Integrity gate of device @p a: seal-check every resident
      * sequence; any with a poisoned page is quarantined (the bad
@@ -416,9 +531,12 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
     /** Form and launch the next step of device @p a, if any. */
     auto formStep = [&](size_t a, double now) {
         DevGen &d = dev[a];
-        if (!d.alive || d.busy)
+        if (!d.alive || d.busy || d.draining)
             return;
-        // Verify seals before the residents are read again this step.
+        mergeInbox(a);
+        // Verify seals before the residents are read again this step —
+        // migrated arrivals included, so a page poisoned in the arena
+        // after landing is caught before any token reads it.
         sweepCorruption(a, now);
         if (disp.breakerOpen(a, now)) {
             armWatchdog(a, now); // residents stall while cooling down
@@ -448,6 +566,13 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
         // retention before they shed requests.
         const size_t level_now =
             disp.degradeLevel(disp.queueDepth(), aliveCount());
+        // A device on probation runs at reduced concurrency until it
+        // proves itself (floored at one slot so it can prove anything).
+        const size_t slot_cap =
+            d.probation
+                ? std::min(bp.max_batch_seqs,
+                           std::max<size_t>(1, mp.probation_seqs))
+                : bp.max_batch_seqs;
         // Strict-FIFO admission: the head is never skipped, so no
         // queued request can starve while others are admitted.
         for (;;) {
@@ -480,7 +605,7 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                 failRequest(id, now, true);
                 continue;
             }
-            if (d.running.size() >= bp.max_batch_seqs)
+            if (d.running.size() >= slot_cap)
                 break;
             if (chunked ? used_tokens >= bp.max_step_tokens
                         : used_tokens + prompt > bp.max_step_tokens)
@@ -563,6 +688,7 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                 if (!d.alive)
                     break;
                 d.alive = false;
+                d.draining = false; // kill supersedes a pending drain
                 d.down_since = now;
                 ++d.epoch;    // voids the in-flight step event
                 ++d.progress; // disarms any pending watchdog
@@ -571,14 +697,15 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                     rep.devices[a].busy_ms += now - d.step_start;
                     d.busy = false;
                 }
-                // Fail-over every resident: pages released here, the
-                // request re-prefills on whatever device next has room.
+                // Rescue every resident: sealed pages live-migrate to
+                // a healthy arena when policy allows; otherwise pages
+                // are released and the request re-prefills on whatever
+                // device next has room.
+                mergeInbox(a);
                 for (const Running &r : d.running) {
-                    ++rep.failovers;
-                    if (r.prefill)
-                        ++gen.prefill_failovers;
-                    else
-                        ++gen.decode_failovers;
+                    if (migrateOut(a, r, now, MigOrigin::Kill))
+                        continue;
+                    failoverCounters(r, MigOrigin::Kill);
                     d.alloc->freeSeq(r.id);
                     readmitVictim(r, now);
                 }
@@ -592,6 +719,12 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                 rep.devices[a].down_intervals.push_back(
                     {d.down_since, now});
                 d.down_since = -1.0;
+                if (mp.probation_steps > 0) {
+                    // Back from the dead: reduced duty until it runs
+                    // probation_steps clean steps.
+                    d.probation = true;
+                    d.clean_steps = 0;
+                }
                 break;
               case FaultKind::SlowStart:
                 d.slow = ev.factor;
@@ -613,6 +746,17 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                     static_cast<KvCorruption>(corrupt_cycle++ % 3));
                 break;
               }
+              case FaultKind::Drain: {
+                if (!d.alive || d.draining)
+                    break; // dead / already evacuating: nothing to do
+                ++gen.drains;
+                d.draining = true;
+                // Graceful: an in-flight step finishes and keeps its
+                // tokens; the evacuation runs at that step boundary.
+                if (!d.busy)
+                    finishDrain(a, now);
+                break;
+              }
             }
             formAll(now);
             break;
@@ -627,14 +771,81 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                 ev.epoch != d.progress)
                 break; // progress was made since arming: false alarm
             // The device sat on residents for the whole stall budget:
-            // migrate them so their decode stall stays bounded.
+            // migrate them so their decode stall stays bounded — live
+            // (KV intact) when policy allows, by re-prefill otherwise.
             ++d.progress;
+            mergeInbox(ev.device);
             for (const Running &r : d.running) {
                 ++gen.watchdog_migrations;
+                if (migrateOut(ev.device, r, now, MigOrigin::Watchdog))
+                    continue;
                 d.alloc->freeSeq(r.id);
                 readmitVictim(r, now);
             }
             d.running.clear();
+            formAll(now);
+            break;
+          }
+          case GenEventType::Migration: {
+            auto mit = migrating.find(static_cast<uint64_t>(ev.id));
+            DOTA_ASSERT(mit != migrating.end(),
+                        "unknown migration {}", ev.id);
+            const MigPending p = std::move(mit->second);
+            migrating.erase(mit);
+            const size_t need = p.exp.pages.size();
+            // Verify-on-arrival: every page's CRC32 seal is re-checked
+            // against the image that travelled. A poisoned transfer is
+            // refused whole — only this sequence re-prefills, and no
+            // token is ever computed from the bad pages.
+            if (PagedKvAllocator::verifyExport(p.exp) != 0) {
+                ++gen.migration_poisoned;
+                failoverCounters(p.r, p.origin);
+                readmitVictim(p.r, now);
+                formAll(now);
+                break;
+            }
+            // Deterministic target choice: the eligible device with
+            // the most free pages, lowest index on ties. Probation,
+            // draining and breaker-open devices are never targets.
+            size_t target = n;
+            size_t best_free = 0;
+            for (size_t b = 0; b < n; ++b) {
+                const DevGen &t = dev[b];
+                if (!t.alive || t.draining || t.probation)
+                    continue;
+                if (disp.breakerOpen(b, now))
+                    continue;
+                if (t.running.size() + t.inbox.size() >=
+                    bp.max_batch_seqs)
+                    continue;
+                const size_t fp = t.alloc->freePages();
+                if (fp < need)
+                    continue;
+                if (target == n || fp > best_free) {
+                    target = b;
+                    best_free = fp;
+                }
+            }
+            if (target == n) {
+                ++gen.migration_no_target;
+                failoverCounters(p.r, p.origin);
+                readmitVictim(p.r, now);
+                formAll(now);
+                break;
+            }
+            // All-or-nothing admission on the target arena.
+            const bool ok = dev[target].alloc->importSeq(p.exp);
+            DOTA_ASSERT(ok, "importSeq failed after eligibility check");
+            Running r = p.r;
+            r.level = std::min(r.level, sim_.ladderDepth(target) - 1);
+            dev[target].inbox.push_back(r);
+            ++gen.migrations;
+            gen.migrated_pages += need;
+            gen.migrated_bytes += need * dev[target].alloc->pageBytes();
+            gen.saved_prefill_tokens += r.prefill_done;
+            gen.saved_decode_tokens += r.generated;
+            migration_ms.push_back(now - p.depart_ms);
+            samplePeak();
             formAll(now);
             break;
           }
@@ -684,6 +895,12 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                 ++gen.transient_steps;
                 ++rep.transient_errors;
                 ++rep.devices[a].failed_attempts;
+                if (d.probation) {
+                    // Demotion: the clean-step counter restarts; the
+                    // breakers keep parking the device in between.
+                    d.clean_steps = 0;
+                    ++gen.probation_demotions;
+                }
                 if (disp.onFailure(a, now)) {
                     ++rep.breaker_trips;
                     GenEvent probe;
@@ -692,6 +909,11 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                     probe.device = a;
                     push(std::move(probe));
                 }
+                if (d.draining) {
+                    // The voided step still counts as "finished": the
+                    // drain proceeds at this step boundary.
+                    finishDrain(a, now);
+                }
                 armWatchdog(a, now);
                 formAll(now);
                 break;
@@ -699,6 +921,12 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
             disp.onSuccess(a);
             ++d.progress;
             ++gen.steps;
+            if (d.probation &&
+                ++d.clean_steps >= mp.probation_steps) {
+                d.probation = false;
+                d.clean_steps = 0;
+                ++gen.probation_promotions;
+            }
             bool any_prefill = false, any_decode = false;
 
             // 1. Token bookkeeping: prefills emit their first output
@@ -813,6 +1041,11 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
                 // Retry the append with the victim's pages freed.
             }
             samplePeak();
+            if (d.draining) {
+                // The in-flight step kept its tokens (the graceful
+                // part); now the survivors evacuate.
+                finishDrain(a, now);
+            }
             formAll(now);
             break;
           }
@@ -846,6 +1079,17 @@ GenerationEngine::run(const GenTrace &trace, const FaultPlan &plan,
     gen.recovery_p95_ms = percentileSorted(recoveries_ms, 0.95);
     gen.recovery_max_ms =
         recoveries_ms.empty() ? 0.0 : recoveries_ms.back();
+
+    // Every departed transfer landed (the heap only drains once all
+    // Migration events have been handled) — no sequence is ever lost
+    // in flight.
+    DOTA_ASSERT(migrating.empty(), "{} migrations still in flight",
+                migrating.size());
+    std::sort(migration_ms.begin(), migration_ms.end());
+    gen.migration_p50_ms = percentileSorted(migration_ms, 0.50);
+    gen.migration_p95_ms = percentileSorted(migration_ms, 0.95);
+    gen.migration_max_ms =
+        migration_ms.empty() ? 0.0 : migration_ms.back();
 
     gen.kv_peak_occupancy =
         gen.kv_pages_total > 0

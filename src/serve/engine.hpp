@@ -91,6 +91,44 @@ struct BatchPolicy
     double watchdog_stall_ms = 0.0;
 };
 
+/**
+ * Live KV migration and device probation (DESIGN.md §15).
+ *
+ * When a device is killed, drained (`drain:<dev>@<ms>`), or flagged by
+ * the watchdog, its resident sequences' sealed KV pages are copied to
+ * a healthy device instead of being thrown away: each page's CRC32
+ * seal is re-checked on arrival, admission on the target arena is
+ * all-or-nothing, and a sequence whose transfer carries a poisoned
+ * page (or finds no eligible target) falls back to the classic
+ * re-prefill failover — so migration strictly reduces wasted work and
+ * never serves a corrupted token. Victims depart in resident order and
+ * targets are chosen by (most free pages, lowest index) inside the
+ * serial event loop, so the run stays bit-identical at any
+ * DOTA_THREADS.
+ */
+struct MigrationPolicy
+{
+    /** Master switch; off reproduces the re-prefill-only engine. */
+    bool enabled = true;
+
+    /** Transfer cost of one sealed KV page over the fabric. */
+    double page_ms = 0.02;
+
+    /**
+     * Probation of revived devices: clean (transient-free) steps
+     * required before a revived device returns to full duty. While on
+     * probation it admits at most probation_seqs sequences and is
+     * never a migration target, so a flapping device cannot repeatedly
+     * absorb and kill migrations. Any transient failure resets the
+     * clean-step count (a demotion); the existing circuit breakers
+     * keep parking it between demotions. 0 disables probation.
+     */
+    size_t probation_steps = 8;
+
+    /** Batch-slot cap while on probation (reduced concurrency). */
+    size_t probation_seqs = 1;
+};
+
 /** KV-cache sizing and the DOTA eviction policy. */
 struct KvPolicy
 {
@@ -138,6 +176,7 @@ struct EngineConfig
 
     BatchPolicy batch;
     KvPolicy kv;
+    MigrationPolicy migrate;
 };
 
 /** Token-grain autoregressive serving engine over a device fleet. */
@@ -157,10 +196,13 @@ class GenerationEngine
      * transient faults strike mid-prefill and mid-decode, corrupt
      * events flip bits in resident KV pages (detected by the per-page
      * CRC32 seals and quarantined before any token is served from
-     * them), and victims recover deterministically by re-prefill on a
-     * healthy device under capped restarts. Replayable bit-for-bit
-     * from (trace seed, plan, fault_seed) at any DOTA_THREADS; an
-     * empty plan is exactly the fault-free run.
+     * them), drain events gracefully evacuate a device for planned
+     * maintenance, and victims recover deterministically — by live KV
+     * migration when MigrationPolicy allows (sealed pages re-verified
+     * on arrival, decode resumes without re-prefill), by re-prefill on
+     * a healthy device under capped restarts otherwise. Replayable
+     * bit-for-bit from (trace seed, plan, fault_seed) at any
+     * DOTA_THREADS; an empty plan is exactly the fault-free run.
      */
     ServeReport run(const GenTrace &trace, const FaultPlan &plan,
                     uint64_t fault_seed) const;

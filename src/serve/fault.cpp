@@ -27,6 +27,8 @@ faultKindName(FaultKind kind)
         return "slow-end";
       case FaultKind::Corrupt:
         return "corrupt";
+      case FaultKind::Drain:
+        return "drain";
     }
     DOTA_PANIC("unknown fault kind");
 }
@@ -127,7 +129,7 @@ tryParseFaultPlan(const std::string &spec)
                           plan.repair_ms))
                 return res;
         } else if (verb == "kill" || verb == "revive" ||
-                   verb == "corrupt") {
+                   verb == "corrupt" || verb == "drain") {
             const size_t at = args.find('@');
             if (at == std::string::npos) {
                 res.ok = false;
@@ -141,6 +143,7 @@ tryParseFaultPlan(const std::string &spec)
                 return res;
             ev.kind = verb == "kill"     ? FaultKind::Kill
                       : verb == "revive" ? FaultKind::Revive
+                      : verb == "drain"  ? FaultKind::Drain
                                          : FaultKind::Corrupt;
             plan.events.push_back(ev);
         } else if (verb == "slow") {
@@ -182,7 +185,7 @@ tryParseFaultPlan(const std::string &spec)
             res.ok = false;
             res.error = format("unknown fault-plan verb '{}' in '{}' "
                                "(expected kill, revive, slow, "
-                               "transient, corrupt or mtbf)",
+                               "transient, corrupt, drain or mtbf)",
                                verb, token);
             return res;
         }
@@ -212,6 +215,10 @@ faultPlanGrammar()
            "probability\n"
            "  corrupt:<dev>@<ms>         flip bits in one resident KV "
            "page of <dev> at <ms>\n"
+           "  drain:<dev>@<ms>           graceful drain of <dev> at "
+           "<ms>: finish the step,\n"
+           "                             live-migrate residents "
+           "(generation engine only)\n"
            "  mtbf:<mtbf_ms>x<repair_ms> random fail-stop faults per "
            "device\n"
            "example: kill:0@500,revive:0@900,transient:0.01";
@@ -226,6 +233,7 @@ describeFaultPlan(const FaultPlan &plan)
           case FaultKind::Kill:
           case FaultKind::Revive:
           case FaultKind::Corrupt:
+          case FaultKind::Drain:
             parts.push_back(format("{}:{}@{}", faultKindName(ev.kind),
                                    ev.device, ev.t_ms));
             break;
@@ -279,16 +287,22 @@ FaultInjector::FaultInjector(const FaultPlan &plan, size_t n_devices,
         }
     }
     // Deterministic order: time, then device, then kind (Kill before
-    // Revive, so an instantaneous kill+revive pair nets to "alive").
-    std::sort(events_.begin(), events_.end(),
-              [](const FaultEvent &a, const FaultEvent &b) {
-                  if (a.t_ms != b.t_ms)
-                      return a.t_ms < b.t_ms;
-                  if (a.device != b.device)
-                      return a.device < b.device;
-                  return static_cast<int>(a.kind) <
-                         static_cast<int>(b.kind);
-              });
+    // Revive, so an instantaneous kill+revive pair nets to "alive";
+    // Kill before Drain, so the harsher fault wins the tie), then the
+    // slow factor. The sort is stable so exact duplicates keep plan
+    // order — the schedule never depends on how the spec ordered its
+    // tokens.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         if (a.t_ms != b.t_ms)
+                             return a.t_ms < b.t_ms;
+                         if (a.device != b.device)
+                             return a.device < b.device;
+                         if (a.kind != b.kind)
+                             return static_cast<int>(a.kind) <
+                                    static_cast<int>(b.kind);
+                         return a.factor < b.factor;
+                     });
 }
 
 } // namespace dota

@@ -19,10 +19,21 @@
  *   transient:<p>              per-attempt transient failure probability
  *   corrupt:<dev>@<ms>         flip bits in one resident KV page of
  *                              <dev> at <ms> (generation engine only)
+ *   drain:<dev>@<ms>           graceful drain of <dev> at <ms>: the
+ *                              in-flight step completes, residents
+ *                              live-migrate (generation engine only)
  *   mtbf:<mtbf_ms>x<repair_ms> random fail-stop: exponential MTBF with
  *                              fixed repair time (per device)
  *
  * tokens separated by commas, e.g. "kill:0@500,revive:0@900,transient:0.01".
+ *
+ * Same-timestamp events on the same device resolve by FaultKind enum
+ * order, never by input order (see FaultInjector): kill < revive <
+ * slow-start < slow-end < corrupt < drain. So "kill:0@500,drain:0@500"
+ * kills first (the harsher fault wins; the drain is then a no-op on a
+ * dead device), "revive:0@500,drain:0@500" revives first and then
+ * drains (maintenance wins), and "corrupt:2@45,drain:2@45" poisons the
+ * page first so the drain's migration catches it on arrival.
  */
 #pragma once
 
@@ -37,11 +48,15 @@ namespace dota {
 /** What happens to a device at one point of the fault schedule. */
 enum class FaultKind
 {
+    // Enum order doubles as the same-timestamp tie-break: events at one
+    // instant on one device apply in this order, regardless of the
+    // order the plan spelled them in.
     Kill,       ///< fail-stop: device dies, in-flight work is lost
     Revive,     ///< device returns to service
     SlowStart,  ///< straggler interval begins (factor-times slower)
     SlowEnd,    ///< straggler interval ends
     Corrupt,    ///< memory fault: bits flip in one resident KV page
+    Drain,      ///< planned maintenance: finish the step, migrate out
 };
 
 /** Display name, e.g. "kill". */
@@ -118,7 +133,12 @@ class FaultInjector
     FaultInjector(const FaultPlan &plan, size_t n_devices,
                   double horizon_ms, uint64_t seed);
 
-    /** Events sorted by (time, device, kind); stable and replayable. */
+    /**
+     * Events sorted by (time, device, kind, factor) with a stable sort,
+     * so same-timestamp events on one device apply in FaultKind enum
+     * order and exact duplicates keep their plan order — the schedule
+     * is a pure function of the plan, never of token order.
+     */
     const std::vector<FaultEvent> &schedule() const { return events_; }
 
     double transientProb() const { return transient_prob_; }

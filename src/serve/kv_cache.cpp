@@ -258,6 +258,60 @@ PagedKvAllocator::verifySeq(uint64_t seq_id) const
     return corrupt;
 }
 
+KvSeqExport
+PagedKvAllocator::exportSeq(uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    DOTA_ASSERT(it != seqs_.end(), "exportSeq: unknown sequence {}",
+                seq_id);
+    KvSeqExport exp;
+    exp.seq_id = seq_id;
+    exp.tokens = it->second.tokens;
+    exp.pages.reserve(it->second.pages.size());
+    for (uint32_t page : it->second.pages) {
+        const Page &pg = pages_[page];
+        exp.pages.push_back({pg.payload, pg.seal});
+    }
+    return exp;
+}
+
+size_t
+PagedKvAllocator::verifyExport(const KvSeqExport &exp)
+{
+    size_t corrupt = 0;
+    for (const KvPageImage &img : exp.pages)
+        if (sealOf(img.payload) != img.seal)
+            ++corrupt;
+    return corrupt;
+}
+
+bool
+PagedKvAllocator::importSeq(const KvSeqExport &exp)
+{
+    DOTA_ASSERT(exp.pages.size() == pagesFor(exp.tokens),
+                "importSeq: {} pages cannot back {} tokens at {} "
+                "tokens/page",
+                exp.pages.size(), exp.tokens, cfg_.page_tokens);
+    if (seqs_.count(exp.seq_id) != 0)
+        return false;
+    if (exp.pages.size() > free_.size())
+        return false; // all-or-nothing: nothing allocated
+    if (verifyExport(exp) != 0)
+        return false; // poisoned in transit: refuse the whole sequence
+    Seq seq;
+    seq.tokens = exp.tokens;
+    seq.pages.reserve(exp.pages.size());
+    for (const KvPageImage &img : exp.pages) {
+        const uint32_t page = allocPage();
+        pages_[page].payload = img.payload;
+        pages_[page].seal = img.seal;
+        seq.pages.push_back(page);
+    }
+    seqs_.emplace(exp.seq_id, std::move(seq));
+    notePeak();
+    return true;
+}
+
 size_t
 PagedKvAllocator::quarantineSeq(uint64_t seq_id)
 {

@@ -47,6 +47,29 @@ enum class KvCorruption
 /** Display name, e.g. "bit-flip". */
 std::string kvCorruptionName(KvCorruption mode);
 
+/**
+ * One page's frame image in transit: payload and seal copied verbatim
+ * (a stale seal travels too — verify-on-arrival is what catches it).
+ */
+struct KvPageImage
+{
+    uint64_t payload = 0;
+    uint32_t seal = 0;
+};
+
+/**
+ * Sealed snapshot of one sequence's KV state, the unit of live
+ * migration (DESIGN.md §15): page images in logical order plus the
+ * token count they back. Produced by exportSeq on the source arena,
+ * admitted all-or-nothing by importSeq on the target.
+ */
+struct KvSeqExport
+{
+    uint64_t seq_id = 0;
+    size_t tokens = 0;
+    std::vector<KvPageImage> pages;
+};
+
 /** Sizing of one paged KV arena (one per serving device). */
 struct KvCacheConfig
 {
@@ -169,6 +192,31 @@ class PagedKvAllocator
      * shrinks). Returns the number of pages quarantined.
      */
     size_t quarantineSeq(uint64_t seq_id);
+
+    // Live migration (DESIGN.md §15) -----------------------------------
+    /**
+     * Snapshot @p seq_id's page frames verbatim (seals included, even
+     * stale ones) for transfer to another arena. Pure read: the source
+     * sequence stays resident; the caller tears it down separately
+     * (freeSeq, or quarantineSeq when a frame might be poisoned).
+     */
+    KvSeqExport exportSeq(uint64_t seq_id) const;
+
+    /**
+     * Verify-on-arrival: number of page images in @p exp whose payload
+     * no longer matches its seal. Pure function of the export.
+     */
+    static size_t verifyExport(const KvSeqExport &exp);
+
+    /**
+     * All-or-nothing admission of a migrated sequence: allocates
+     * exp.pages.size() frames (lowest-first, the usual determinism),
+     * installs each image's payload AND seal verbatim, and registers
+     * the sequence at exp.tokens entries. Returns false — with the
+     * arena untouched — when the id is already resident, the free list
+     * cannot cover the pages, or any image fails its seal check.
+     */
+    bool importSeq(const KvSeqExport &exp);
 
     // Telemetry ---------------------------------------------------------
     size_t peakUsedPages() const { return peak_used_pages_; }

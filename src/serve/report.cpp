@@ -43,9 +43,12 @@ ServeReport::shed() const
 double
 percentileSorted(const std::vector<double> &sorted, double q)
 {
+    DOTA_ASSERT(q >= 0.0 && q <= 1.0, "percentile fraction in [0,1]");
+    // Zero-event guard: a run with no recoveries/migrations still asks
+    // for its percentiles — the answer is 0, never NaN or an
+    // out-of-range index.
     if (sorted.empty())
         return 0.0;
-    DOTA_ASSERT(q >= 0.0 && q <= 1.0, "percentile fraction in [0,1]");
     const double rank = q * static_cast<double>(sorted.size());
     size_t idx = static_cast<size_t>(std::ceil(rank));
     idx = idx > 0 ? idx - 1 : 0;
@@ -122,7 +125,10 @@ ServeReport::print(std::ostream &os) const
                            gen.transient_steps > 0 ||
                            gen.corrupted_pages_detected > 0 ||
                            gen.watchdog_migrations > 0 ||
-                           gen.recoveries > 0;
+                           gen.recoveries > 0 || gen.drains > 0 ||
+                           gen.migrations > 0 ||
+                           gen.migration_no_target > 0 ||
+                           gen.migration_poisoned > 0;
         if (chaos) {
             g.addRow({"failovers (prefill/decode)",
                       format("{} / {}", gen.prefill_failovers,
@@ -146,6 +152,26 @@ ServeReport::print(std::ostream &os) const
                              fmtNum(gen.recovery_p95_ms, 2),
                              fmtNum(gen.recovery_max_ms, 2),
                              gen.recoveries)});
+            g.addRow({"drains honored",
+                      fmtNum(double(gen.drains), 0)});
+            g.addRow({"migrations (seqs/pages/bytes)",
+                      format("{} / {} / {}", gen.migrations,
+                             gen.migrated_pages,
+                             fmtBytes(double(gen.migrated_bytes)))});
+            g.addRow({"migration fallbacks (no-target/poisoned)",
+                      format("{} / {}", gen.migration_no_target,
+                             gen.migration_poisoned)});
+            g.addRow({"tokens saved by migration (prefill/decode)",
+                      format("{} / {}", gen.saved_prefill_tokens,
+                             gen.saved_decode_tokens)});
+            g.addRow({"migration p50/p95/max",
+                      format("{} / {} / {} ms",
+                             fmtNum(gen.migration_p50_ms, 2),
+                             fmtNum(gen.migration_p95_ms, 2),
+                             fmtNum(gen.migration_max_ms, 2))});
+            g.addRow({"probation promotions / demotions",
+                      format("{} / {}", gen.probation_promotions,
+                             gen.probation_demotions)});
         }
         g.print(os);
     }

@@ -130,6 +130,28 @@ struct GenMetrics
     double recovery_p50_ms = 0.0;
     double recovery_p95_ms = 0.0;
     double recovery_max_ms = 0.0;
+
+    // Live KV migration + graceful drain (zero with migration off or
+    // on fault-free runs; DESIGN.md §15).
+    size_t drains = 0;            ///< drain events honored
+    size_t migrations = 0;        ///< sequences live-migrated intact
+    size_t migrated_pages = 0;    ///< sealed pages copied and admitted
+    size_t migrated_bytes = 0;    ///< KV bytes those pages carry
+    size_t migration_no_target = 0; ///< arrivals with no eligible device
+                                    ///< (fell back to re-prefill)
+    size_t migration_poisoned = 0;  ///< arrivals refused by a seal
+                                    ///< mismatch (re-prefill instead)
+    size_t saved_prefill_tokens = 0; ///< prefill work migration kept
+    size_t saved_decode_tokens = 0;  ///< decode work migration kept
+    // Departure -> verified admission on the target, per migrated seq.
+    double migration_p50_ms = 0.0;
+    double migration_p95_ms = 0.0;
+    double migration_max_ms = 0.0;
+
+    // Probation of revived devices: reduced concurrency until N clean
+    // steps, demoted (counter reset) by any transient failure.
+    size_t probation_promotions = 0; ///< devices promoted to full duty
+    size_t probation_demotions = 0;  ///< clean-step counters reset
 };
 
 /** Outcome of one serving run. */

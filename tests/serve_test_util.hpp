@@ -129,6 +129,21 @@ expectIdentical(const ServeReport &a, const ServeReport &b)
     EXPECT_EQ(a.gen.recovery_p95_ms, b.gen.recovery_p95_ms);
     EXPECT_EQ(a.gen.recovery_max_ms, b.gen.recovery_max_ms);
 
+    // Migration + probation telemetry (DESIGN.md §15).
+    EXPECT_EQ(a.gen.drains, b.gen.drains);
+    EXPECT_EQ(a.gen.migrations, b.gen.migrations);
+    EXPECT_EQ(a.gen.migrated_pages, b.gen.migrated_pages);
+    EXPECT_EQ(a.gen.migrated_bytes, b.gen.migrated_bytes);
+    EXPECT_EQ(a.gen.migration_no_target, b.gen.migration_no_target);
+    EXPECT_EQ(a.gen.migration_poisoned, b.gen.migration_poisoned);
+    EXPECT_EQ(a.gen.saved_prefill_tokens, b.gen.saved_prefill_tokens);
+    EXPECT_EQ(a.gen.saved_decode_tokens, b.gen.saved_decode_tokens);
+    EXPECT_EQ(a.gen.migration_p50_ms, b.gen.migration_p50_ms);
+    EXPECT_EQ(a.gen.migration_p95_ms, b.gen.migration_p95_ms);
+    EXPECT_EQ(a.gen.migration_max_ms, b.gen.migration_max_ms);
+    EXPECT_EQ(a.gen.probation_promotions, b.gen.probation_promotions);
+    EXPECT_EQ(a.gen.probation_demotions, b.gen.probation_demotions);
+
     ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
     for (size_t i = 0; i < a.outcomes.size(); ++i) {
         const RequestOutcome &x = a.outcomes[i];

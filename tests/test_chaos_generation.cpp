@@ -68,6 +68,11 @@ chaosEngine()
     ec.policy.degrade_depth_1 = 3.0; // dead devices deepen the ladder
     ec.policy.degrade_depth_2 = 6.0;
     ec.batch.watchdog_stall_ms = 25.0;
+    // Re-prefill-only baseline: this suite (and its golden) pins the
+    // classic failover path; live migration has its own golden in
+    // test_migration.cpp, which also asserts it beats this baseline.
+    ec.migrate.enabled = false;
+    ec.migrate.probation_steps = 0;
     return ec;
 }
 

@@ -223,5 +223,134 @@ TEST(KvCache, PeakTracksHighWaterMark)
     EXPECT_EQ(a.peakUsedBytes(), 10u * a.pageBytes());
 }
 
+// ------------------------------------------- live migration (DESIGN §15)
+
+TEST(KvCacheMigration, ExportImportRoundTrip)
+{
+    PagedKvAllocator src(tinyArena(8, 4));
+    PagedKvAllocator dst(tinyArena(8, 4));
+    ASSERT_TRUE(src.createSeq(7));
+    ASSERT_TRUE(src.appendTokens(7, 11)); // 3 pages
+
+    const KvSeqExport exp = src.exportSeq(7);
+    EXPECT_EQ(exp.seq_id, 7u);
+    EXPECT_EQ(exp.tokens, 11u);
+    EXPECT_EQ(exp.pages.size(), 3u);
+    EXPECT_EQ(PagedKvAllocator::verifyExport(exp), 0u);
+    // Pure read: the source copy is untouched until torn down.
+    EXPECT_TRUE(src.contains(7));
+    EXPECT_EQ(src.verifySeq(7), 0u);
+
+    ASSERT_TRUE(dst.importSeq(exp));
+    EXPECT_EQ(dst.seqTokens(7), 11u);
+    EXPECT_EQ(dst.usedPages(), 3u);
+    EXPECT_EQ(dst.verifySeq(7), 0u); // seals travelled verbatim
+    ASSERT_TRUE(dst.appendTokens(7, 2)); // decode continues
+    EXPECT_EQ(dst.seqTokens(7), 13u);
+    EXPECT_EQ(dst.verifySeq(7), 0u);
+}
+
+TEST(KvCacheMigration, ImportRefusesResidentCapacityAndPoison)
+{
+    PagedKvAllocator src(tinyArena(8, 4));
+    ASSERT_TRUE(src.createSeq(1));
+    ASSERT_TRUE(src.appendTokens(1, 10)); // 3 pages
+    const KvSeqExport exp = src.exportSeq(1);
+
+    // Already-resident id: refused, arena untouched.
+    PagedKvAllocator busy(tinyArena(8, 4));
+    ASSERT_TRUE(busy.createSeq(1));
+    EXPECT_FALSE(busy.importSeq(exp));
+    EXPECT_EQ(busy.usedPages(), 0u);
+
+    // Capacity short by one page: all-or-nothing, nothing allocated.
+    PagedKvAllocator small(tinyArena(2, 4));
+    EXPECT_FALSE(small.importSeq(exp));
+    EXPECT_EQ(small.usedPages(), 0u);
+    EXPECT_EQ(small.freePages(), 2u);
+
+    // Poisoned in transit: the whole sequence is refused.
+    src.corruptPage(src.pageTable(1)[1], KvCorruption::BitFlip);
+    const KvSeqExport bad = src.exportSeq(1);
+    EXPECT_EQ(PagedKvAllocator::verifyExport(bad), 1u);
+    PagedKvAllocator dst(tinyArena(8, 4));
+    EXPECT_FALSE(dst.importSeq(bad));
+    EXPECT_EQ(dst.usedPages(), 0u);
+    EXPECT_EQ(dst.freePages(), 8u);
+}
+
+TEST(KvCacheMigration, ChurnNeverFragmentsAllOrNothingAdmission)
+{
+    // Property: after any number of export/import/free/shrink cycles,
+    // an arena admits exactly what a fresh arena of equal effective
+    // capacity admits — paging means churn can never strand free pages
+    // in unusable holes, so migration admission stays all-or-nothing
+    // arithmetic forever.
+    const size_t kPages = 24, kPageTokens = 4;
+    PagedKvAllocator a(tinyArena(kPages, kPageTokens));
+    PagedKvAllocator b(tinyArena(kPages, kPageTokens));
+    Rng rng(17);
+    uint64_t next_id = 0;
+    std::vector<std::pair<PagedKvAllocator *, uint64_t>> live;
+
+    for (size_t step = 0; step < 400; ++step) {
+        const uint64_t op = rng.uniformInt(4);
+        if (op == 0) { // admit a fresh sequence on a
+            const size_t toks = 1 + rng.uniformInt(20);
+            if (a.canFit(toks)) {
+                const uint64_t id = next_id++;
+                ASSERT_TRUE(a.createSeq(id));
+                ASSERT_TRUE(a.appendTokens(id, toks));
+                live.push_back({&a, id});
+            }
+        } else if (op == 1 && !live.empty()) { // migrate a <-> b
+            const size_t pick = rng.uniformInt(live.size());
+            auto [from, id] = live[pick];
+            PagedKvAllocator *to = from == &a ? &b : &a;
+            const KvSeqExport exp = from->exportSeq(id);
+            if (to->importSeq(exp)) {
+                from->freeSeq(id);
+                live[pick].first = to;
+            }
+        } else if (op == 2 && !live.empty()) { // finish a sequence
+            const size_t pick = rng.uniformInt(live.size());
+            live[pick].first->freeSeq(live[pick].second);
+            live.erase(live.begin() +
+                       static_cast<ptrdiff_t>(pick));
+        } else if (op == 3 && !live.empty()) { // DOTA eviction
+            const size_t pick = rng.uniformInt(live.size());
+            auto [arena, id] = live[pick];
+            const size_t keep =
+                1 + arena->seqTokens(id) / 2;
+            arena->shrinkTo(id, keep);
+        }
+
+        for (PagedKvAllocator *arena : {&a, &b}) {
+            // Conservation: free + used + quarantined == total.
+            EXPECT_EQ(arena->freePages() + arena->usedPages() +
+                          arena->quarantinedPages(),
+                      arena->totalPages());
+            // No fragmentation: admission matches a freshly built
+            // arena holding exactly this many free pages, at every
+            // demand size around the boundary — churn never strands
+            // free capacity in unusable holes.
+            if (arena->freePages() > 0) {
+                const PagedKvAllocator fresh(
+                    tinyArena(arena->freePages(), kPageTokens));
+                for (size_t toks :
+                     {size_t(1), size_t(kPageTokens),
+                      arena->freePages() * kPageTokens,
+                      arena->freePages() * kPageTokens + 1}) {
+                    EXPECT_EQ(arena->canFit(toks), fresh.canFit(toks))
+                        << "step " << step << " toks " << toks;
+                }
+            }
+            // Every resident still seals clean (exports are verbatim).
+            for (uint32_t page : arena->usedPageList())
+                EXPECT_TRUE(arena->verifyPage(page));
+        }
+    }
+}
+
 } // namespace
 } // namespace dota

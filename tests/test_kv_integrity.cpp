@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "nn/decode.hpp"
+#include "nn/loss.hpp"
 #include "serve/kv_cache.hpp"
 #include "serve_test_util.hpp"
 
@@ -185,6 +186,80 @@ TEST(KvIntegrity, RecoveryByReprefillIsBitIdentical)
     const std::vector<int> recovered = generate(model, prefix, steps);
     EXPECT_EQ(recovered, healthy)
         << "re-prefill must reproduce the continuation bit-for-bit";
+}
+
+// ------------------------------------- live migration at decode grain
+
+TEST(KvIntegrity, MigratedDecodeContinuesBitIdentical)
+{
+    CausalLM model(lmCfg());
+    const std::vector<int> prefix{3, 7, 1, 12, 5};
+
+    // Uninterrupted reference: prefill + 6 greedy tokens on one
+    // "device".
+    DecodeState ref;
+    ref.reset(model.config().layers);
+    Matrix logits;
+    for (int tok : prefix)
+        logits = decodeStep(model, ref, tok);
+    std::vector<int> ref_tokens;
+    for (size_t s = 0; s < 6; ++s) {
+        const int next = rowArgmax(logits)[0];
+        ref_tokens.push_back(next);
+        logits = decodeStep(model, ref, next);
+    }
+
+    // Migrated run: prefill + 2 tokens, export, import on a fresh
+    // state (the "target device"), continue 4 more — the continuation
+    // must match the uninterrupted run bit-for-bit, no re-prefill.
+    DecodeState src;
+    src.reset(model.config().layers);
+    for (int tok : prefix)
+        logits = decodeStep(model, src, tok);
+    std::vector<int> mig_tokens;
+    for (size_t s = 0; s < 2; ++s) {
+        const int next = rowArgmax(logits)[0];
+        mig_tokens.push_back(next);
+        logits = decodeStep(model, src, next);
+    }
+    const KvTransfer transfer = exportKv(src);
+    EXPECT_EQ(transfer.seals.size(), model.config().layers);
+    DecodeState dst;
+    ASSERT_TRUE(importKv(transfer, dst));
+    EXPECT_EQ(dst.position, src.position);
+    for (size_t s = 2; s < 6; ++s) {
+        const int next = rowArgmax(logits)[0];
+        mig_tokens.push_back(next);
+        logits = decodeStep(model, dst, next);
+    }
+    EXPECT_EQ(mig_tokens, ref_tokens)
+        << "migrated continuation must be bit-identical";
+}
+
+TEST(KvIntegrity, CorruptedTransferIsRefusedAndDstUntouched)
+{
+    CausalLM model(lmCfg());
+    DecodeState src;
+    src.reset(model.config().layers);
+    for (int tok : {3, 7, 1, 12, 5})
+        decodeStep(model, src, tok);
+
+    KvTransfer transfer = exportKv(src);
+    // Poison the payload in flight; the seals taken at departure stay.
+    corruptKv(transfer.state, 1, KvFault::BitFlip);
+
+    DecodeState dst;
+    dst.reset(model.config().layers);
+    decodeStep(model, dst, 9); // the receiver has its own state
+    const std::vector<uint32_t> dst_seals = sealKv(dst);
+    EXPECT_FALSE(importKv(transfer, dst));
+    // Verify-on-arrival refused the adoption without touching dst.
+    EXPECT_TRUE(verifyKv(dst, dst_seals));
+    EXPECT_EQ(dst.position, 1u);
+
+    // A clean transfer of the same session is accepted.
+    EXPECT_TRUE(importKv(exportKv(src), dst));
+    EXPECT_EQ(dst.position, src.position);
 }
 
 } // namespace

@@ -174,6 +174,75 @@ TEST(ServeFault, InjectorSortsAndValidates)
     EXPECT_DOUBLE_EQ(inj.schedule()[2].t_ms, 300.0);
 }
 
+TEST(ServeFault, SameInstantSameDeviceTieBreakIsKindOrder)
+{
+    // Two verbs striking one device at the same millisecond resolve by
+    // FaultKind enum order (kill < revive < slow < corrupt < drain),
+    // NOT by their order in the plan string — so the two spellings
+    // below materialize the identical schedule.
+    const FaultPlan fwd = parseFaultPlan("kill:0@500,drain:0@500");
+    const FaultPlan rev = parseFaultPlan("drain:0@500,kill:0@500");
+    const FaultInjector a(fwd, 1, 1000.0, 5);
+    const FaultInjector b(rev, 1, 1000.0, 5);
+    ASSERT_EQ(a.schedule().size(), 2u);
+    ASSERT_EQ(b.schedule().size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(a.schedule()[i].kind, b.schedule()[i].kind);
+        EXPECT_EQ(a.schedule()[i].device, b.schedule()[i].device);
+        EXPECT_DOUBLE_EQ(a.schedule()[i].t_ms, b.schedule()[i].t_ms);
+    }
+    // The harsher fault resolves first: the kill wins, the drain finds
+    // the device already dead and is a no-op.
+    EXPECT_EQ(a.schedule()[0].kind, FaultKind::Kill);
+    EXPECT_EQ(a.schedule()[1].kind, FaultKind::Drain);
+
+    // Same-kind ties (two slow-starts) fall through to the factor.
+    FaultPlan slow;
+    slow.events = {{100.0, 0, FaultKind::SlowStart, 4.0},
+                   {100.0, 0, FaultKind::SlowStart, 2.0}};
+    const FaultInjector s(slow, 1, 1000.0, 5);
+    ASSERT_EQ(s.schedule().size(), 2u);
+    EXPECT_DOUBLE_EQ(s.schedule()[0].factor, 2.0);
+    EXPECT_DOUBLE_EQ(s.schedule()[1].factor, 4.0);
+
+    // Corrupt-then-drain at one instant: the poison lands before the
+    // evacuation starts, so verify-on-arrival is what must catch it.
+    const FaultPlan cd = parseFaultPlan("drain:1@30,corrupt:1@30");
+    const FaultInjector c(cd, 2, 1000.0, 5);
+    ASSERT_EQ(c.schedule().size(), 2u);
+    EXPECT_EQ(c.schedule()[0].kind, FaultKind::Corrupt);
+    EXPECT_EQ(c.schedule()[1].kind, FaultKind::Drain);
+}
+
+TEST(ServeFault, DrainVerbParsesAndRejectsMalformed)
+{
+    const FaultPlanParse ok = tryParseFaultPlan("drain:2@750");
+    ASSERT_TRUE(ok.ok) << ok.error;
+    ASSERT_EQ(ok.plan.events.size(), 1u);
+    EXPECT_EQ(ok.plan.events[0].kind, FaultKind::Drain);
+    EXPECT_EQ(ok.plan.events[0].device, 2u);
+    EXPECT_DOUBLE_EQ(ok.plan.events[0].t_ms, 750.0);
+    EXPECT_NE(describeFaultPlan(ok.plan).find("drain:2@750"),
+              std::string::npos);
+    EXPECT_NE(faultPlanGrammar().find("drain"), std::string::npos);
+    for (const char *bad : {"drain:0", "drain:@5", "drain:0@",
+                            "drain:0@-5", "drain:x@5"})
+        EXPECT_FALSE(tryParseFaultPlan(bad).ok) << bad;
+}
+
+TEST(ServeReportTest, PercentileOfEmptySampleIsZero)
+{
+    // A run with zero recoveries/migrations still asks for its
+    // percentiles — the guard returns 0 instead of indexing an empty
+    // vector or dividing into NaN.
+    const std::vector<double> none;
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(percentileSorted(none, q), 0.0) << q;
+    const std::vector<double> one{3.5};
+    EXPECT_EQ(percentileSorted(one, 0.0), 3.5);
+    EXPECT_EQ(percentileSorted(one, 1.0), 3.5);
+}
+
 TEST(ServeFault, RandomMtbfDeterministicPerSeed)
 {
     FaultPlan plan;
