@@ -15,10 +15,69 @@
 
 #include "bench_util.hpp"
 #include "core/dota.hpp"
+#include "nn/loss.hpp"
 
 using namespace dota;
 
 namespace {
+
+/** Calibration batch: a few task samples from a fixed stream. */
+std::vector<Matrix>
+calibFeatures(const SyntheticTask &task, size_t n)
+{
+    Rng rng(31);
+    std::vector<Matrix> out;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(task.sample(rng).features);
+    return out;
+}
+
+/**
+ * ClassifierTrainer::evaluate replicated on the int8 path: identical
+ * eval stream (seed 4242), int8Forward instead of model.forward — so
+ * the int8 column is the same samples scored by the quantized model.
+ */
+EvalResult
+int8Evaluate(TransformerClassifier &model, const Int8Plan &plan,
+             const SyntheticTask &task, size_t samples)
+{
+    Rng eval_rng(4242);
+    size_t hits = 0;
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < samples; ++i) {
+        const Sample s = task.sample(eval_rng);
+        const Matrix logits = int8Forward(model, plan, s.features);
+        Matrix dlogits;
+        loss_sum += softmaxCrossEntropy(logits, {s.label}, dlogits);
+        hits += rowArgmax(logits)[0] == s.label;
+    }
+    EvalResult res;
+    res.metric = static_cast<double>(hits) / static_cast<double>(samples);
+    res.loss = loss_sum / static_cast<double>(samples);
+    return res;
+}
+
+/** LMTrainer::evaluate replicated on the int8 path (same stream). */
+EvalResult
+int8EvaluateLM(CausalLM &model, const Int8Plan &plan,
+               const SyntheticGrammar &grammar, size_t samples)
+{
+    Rng eval_rng(4242);
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < samples; ++i) {
+        const std::vector<int> ids = grammar.sample(eval_rng);
+        const Matrix logits = int8Forward(model, plan, ids);
+        std::vector<int> targets(ids.size(), -1);
+        for (size_t t = 0; t + 1 < ids.size(); ++t)
+            targets[t] = ids[t + 1];
+        Matrix dlogits;
+        loss_sum += softmaxCrossEntropy(logits, targets, dlogits);
+    }
+    EvalResult res;
+    res.loss = loss_sum / static_cast<double>(samples);
+    res.metric = perplexityFromLoss(res.loss);
+    return res;
+}
 
 // Proxy task construction lives in workloads/benchmark.cpp
 // (proxyTaskFor / proxyGrammarFor) so the CLI trainer and this
@@ -64,9 +123,17 @@ runClassificationBenchmark(const Benchmark &b)
     pre.train();
     const EvalResult dense = pre.evaluate(eval_n);
 
+    // Int8 series (DESIGN.md §16): calibrate the trained models on a
+    // small fixed batch, quantize, evaluate the same eval stream.
+    const std::vector<Matrix> calib = calibFeatures(task, 8);
+    const Int8Plan dense_plan = quantizeClassifier(
+        dense_model, calibrateClassifier(dense_model, calib));
+    const EvalResult dense_i8 =
+        int8Evaluate(dense_model, dense_plan, task, eval_n);
+
     Table t(format("{} — {}", b.name, b.description));
-    t.header({"retention", "dense", "DOTA", "ELSA", "A3", "static",
-              "token-prune", "paper trend"});
+    t.header({"retention", "dense", "dense-int8", "DOTA", "DOTA-int8",
+              "ELSA", "A3", "static", "token-prune", "paper trend"});
 
     for (double r : retentions) {
         // DOTA: fork the dense model, warm up, jointly adapt.
@@ -85,6 +152,15 @@ runClassificationBenchmark(const Benchmark &b)
         joint.train();
         det.config().train = false;
         const EvalResult dota = joint.evaluate(eval_n);
+
+        // DOTA-int8: the jointly-adapted model quantized, with the
+        // trained detector still gating the integer softmax (hooks are
+        // honored on the int8 path). Calibration runs under the mask so
+        // the recorded ranges match deployment.
+        const Int8Plan dota_plan = quantizeClassifier(
+            model, calibrateClassifier(model, calib));
+        const EvalResult dota_i8 =
+            int8Evaluate(model, dota_plan, task, eval_n);
         model.setHook(nullptr);
 
         // Training-free baselines on the dense model at equal
@@ -121,9 +197,11 @@ runClassificationBenchmark(const Benchmark &b)
         const EvalResult prune_eval = pre.evaluate(eval_n);
         dense_model.setHook(nullptr);
 
-        t.addRow({fmtPct(r), fmtPct(dense.metric), fmtPct(dota.metric),
-                  fmtPct(elsa_eval.metric), fmtPct(a3_eval.metric),
-                  fmtPct(static_eval.metric), fmtPct(prune_eval.metric),
+        t.addRow({fmtPct(r), fmtPct(dense.metric),
+                  fmtPct(dense_i8.metric), fmtPct(dota.metric),
+                  fmtPct(dota_i8.metric), fmtPct(elsa_eval.metric),
+                  fmtPct(a3_eval.metric), fmtPct(static_eval.metric),
+                  fmtPct(prune_eval.metric),
                   "DOTA ~dense; others degrade"});
     }
     t.print(std::cout);
@@ -145,10 +223,23 @@ runLmBenchmark(const Benchmark &b)
     pre.train();
     const EvalResult dense = pre.evaluate(eval_n);
 
+    // Int8 series: calibrate on a few grammar samples, quantize, score
+    // the same eval stream through the integer path.
+    std::vector<std::vector<int>> lm_calib;
+    {
+        Rng rng(31);
+        for (size_t i = 0; i < 8; ++i)
+            lm_calib.push_back(grammar.sample(rng));
+    }
+    const Int8Plan dense_plan =
+        quantizeLM(dense_model, calibrateLM(dense_model, lm_calib));
+    const EvalResult dense_i8 =
+        int8EvaluateLM(dense_model, dense_plan, grammar, eval_n);
+
     Table t(format("{} — {} (perplexity, lower is better)", b.name,
                    b.description));
-    t.header({"retention", "dense ppl", "DOTA ppl", "ELSA ppl",
-              "paper trend"});
+    t.header({"retention", "dense ppl", "dense-int8 ppl", "DOTA ppl",
+              "DOTA-int8 ppl", "ELSA ppl", "paper trend"});
     for (double r : retentions) {
         CausalLM model(cfg);
         copyParams(dense_model, model);
@@ -165,6 +256,13 @@ runLmBenchmark(const Benchmark &b)
         joint.train();
         det.config().train = false;
         const EvalResult dota = joint.evaluate(eval_n);
+
+        // DOTA-int8: quantize the adapted LM with the detector gating
+        // the integer softmax (calibration and eval both run masked).
+        const Int8Plan dota_plan =
+            quantizeLM(model, calibrateLM(model, lm_calib));
+        const EvalResult dota_i8 =
+            int8EvaluateLM(model, dota_plan, grammar, eval_n);
         model.setHook(nullptr);
 
         ElsaDetectorConfig ec;
@@ -176,7 +274,8 @@ runLmBenchmark(const Benchmark &b)
         dense_model.setHook(nullptr);
 
         t.addRow({fmtPct(r), fmtNum(dense.metric, 2),
-                  fmtNum(dota.metric, 2), fmtNum(elsa_eval.metric, 2),
+                  fmtNum(dense_i8.metric, 2), fmtNum(dota.metric, 2),
+                  fmtNum(dota_i8.metric, 2), fmtNum(elsa_eval.metric, 2),
                   "DOTA ~dense; ELSA ppl blows up"});
     }
     t.print(std::cout);

@@ -46,20 +46,33 @@ main()
     }
     t.print(std::cout);
 
-    // Section 5.4 breakdown statements.
+    // Section 5.4 breakdown statements, plus the quantized-datapath
+    // column (DESIGN.md §16): the same layer with the RMMU running
+    // INT8 (4x MACs/PE, 1-byte operand/KV traffic, 0.27 pJ/MAC).
+    System::Options i8_opt;
+    i8_opt.sim.datapath = Precision::INT8;
+    System sys_i8(i8_opt);
+
     Table e("Energy breakdown of DOTA-C (per benchmark)");
     e.header({"benchmark", "linear/FC share", "attention share",
-              "detection share"});
+              "detection share", "FX16/layer", "INT8/layer", "saving"});
     for (const Benchmark &b : allBenchmarks()) {
         const RunReport r = sys.run(b.id, DotaMode::Conservative);
+        const RunReport r8 = sys_i8.run(b.id, DotaMode::Conservative);
         const double total = r.per_layer.totalEnergyPj();
+        const double total_i8 = r8.per_layer.totalEnergyPj();
         e.addRow({b.name,
                   fmtPct(r.per_layer.linear.energy_pj / total),
                   fmtPct(r.per_layer.attention.energy_pj / total),
-                  fmtPct(r.per_layer.detection.energy_pj / total)});
+                  fmtPct(r.per_layer.detection.energy_pj / total),
+                  fmtNum(total * 1e-9, 4) + "mJ",
+                  fmtNum(total_i8 * 1e-9, 4) + "mJ",
+                  fmtSpeedup(total / total_i8)});
     }
     e.print(std::cout);
     std::cout << "Paper (Section 5.4): FC layers consume 84.9-99.3% of "
-                 "total energy;\nattention detection only 0.11-0.34%.\n";
+                 "total energy;\nattention detection only 0.11-0.34%.\n"
+                 "INT8 column: quantized datapath of DESIGN.md §16 "
+                 "(same retention, lower-precision RMMU).\n";
     return 0;
 }

@@ -26,6 +26,9 @@
 #include "common/thread_pool.hpp"
 #include "detect/detector.hpp"
 #include "sched/dataflow.hpp"
+#include "tensor/gemm_kernels.hpp"
+#include "tensor/int8_gemm.hpp"
+#include "tensor/int_softmax.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quant.hpp"
 #include "tensor/simd.hpp"
@@ -66,6 +69,26 @@ BM_GemmBT(benchmark::State &state)
                             static_cast<int64_t>(n * n * 64));
 }
 BENCHMARK(BM_GemmBT)->Arg(128)->Arg(384);
+
+void
+BM_Int8Gemm(benchmark::State &state)
+{
+    // End-to-end int8 GEMM C = A * B^T on pre-quantized codes (the
+    // weight side is quantized once at plan build time), including the
+    // fp32 dequantization of the output — directly comparable to
+    // BM_Gemm's n^3 MACs.
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(9);
+    const Matrix a = Matrix::randomNormal(n, n, rng);
+    const Matrix b = Matrix::randomNormal(n, n, rng);
+    const U8Tensor qa = quantizeU8(a, chooseSymmetricScale(a, 7).scale);
+    const Int8Tensor qb = quantizeS8(b, chooseSymmetricScale(b, 8).scale);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(int8MatmulBT(qa, qb));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Int8Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void
 BM_QuantizedDetectionGemm(benchmark::State &state)
@@ -210,6 +233,47 @@ BM_AttentionSparse(benchmark::State &state)
 }
 BENCHMARK(BM_AttentionSparse)->Arg(1000)->Arg(500)->Arg(250)->Arg(125);
 
+/**
+ * One head of dynamically-quantized integer attention (the Int8Backend
+ * flow): per-tensor scales from the live Q/K/V, u8 x s8 maddubs score
+ * GEMM, integer softmax, int8 A*V. Quantization rides inside the
+ * measured region because the backend pays it per forward.
+ */
+Matrix
+int8MaskedAttention(const AttentionProblem &p)
+{
+    const size_t n = p.q.rows();
+    const U8Tensor qq =
+        quantizeU8(p.q, chooseSymmetricScale(p.q, 7).scale);
+    const Int8Tensor qk =
+        quantizeS8(p.k, chooseSymmetricScale(p.k, 8).scale);
+    const Int8Tensor vt =
+        quantizeS8Transposed(p.v, chooseSymmetricScale(p.v, 8).scale);
+    std::vector<int32_t> raw(n * n);
+    int8GemmBT(qq, qk, raw.data());
+    const IntSoftmaxLut lut(qq.scale * qk.scale * p.scale);
+    U8Tensor probs;
+    probs.rows = n;
+    probs.k = n;
+    probs.scale = lut.probScale();
+    probs.zero_point = 0;
+    probs.codes.resize(n * n);
+    for (size_t i = 0; i < n; ++i)
+        lut.softmaxRow(raw.data() + i * n, n, p.mask.row(i),
+                       probs.codes.data() + i * n);
+    return int8MatmulBT(probs, vt);
+}
+
+void
+BM_AttentionInt8(benchmark::State &state)
+{
+    const AttentionProblem p = attentionProblem(
+        kAttnSeq, kAttnHeadDim, state.range(0) / 1000.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(int8MaskedAttention(p));
+}
+BENCHMARK(BM_AttentionInt8)->Arg(1000)->Arg(500)->Arg(250)->Arg(125);
+
 // ---------------------------------------------------------------------
 // Smoke mode (CI guard)
 // ---------------------------------------------------------------------
@@ -230,10 +294,12 @@ bestSeconds(Fn &&fn, int reps)
     return best;
 }
 
+int runInt8Smoke();
+
 /**
  * Fixed-shape dense-vs-sparse comparison: sparse must be (a) bitwise
  * equal to the dense masked computation and (b) strictly faster at 25%
- * retention. Returns a process exit code.
+ * retention. Returns a process exit code. Chains into runInt8Smoke().
  */
 int
 runSmoke()
@@ -275,6 +341,60 @@ runSmoke()
         std::fprintf(stderr,
                      "smoke: FAIL — sparse attention is not faster than "
                      "dense at 25%% retention\n");
+        return 1;
+    }
+    return runInt8Smoke();
+}
+
+/**
+ * Int8 GEMM guard: every compiled kernel instantiation must agree
+ * exactly (the saturation-free maddubs scheme makes the s32 sums exact,
+ * so portable-vs-AVX2 parity is bitwise, not tolerance-level), and on
+ * AVX2 the int8 path must beat the fp32 GEMM at 512^3.
+ */
+int
+runInt8Smoke()
+{
+    const size_t n = 512;
+    Rng rng(10);
+    const Matrix a = Matrix::randomNormal(n, n, rng);
+    const Matrix b = Matrix::randomNormal(n, n, rng);
+    const U8Tensor qa = quantizeU8(a, chooseSymmetricScale(a, 7).scale);
+    const Int8Tensor qb = quantizeS8(b, chooseSymmetricScale(b, 8).scale);
+
+    // Exact agreement between the active and portable instantiations.
+    std::vector<int32_t> c_active(n * n), c_portable(n * n);
+    activeGemmKernels().int8GemmBTRows(qa.codes.data(), qb.codes.data(),
+                                       c_active.data(), n, n, 0, n);
+    detail::portableGemmKernels().int8GemmBTRows(
+        qa.codes.data(), qb.codes.data(), c_portable.data(), n, n, 0, n);
+    for (size_t i = 0; i < n * n; ++i) {
+        if (c_active[i] != c_portable[i]) {
+            std::fprintf(stderr,
+                         "smoke: FAIL — int8 %s kernel diverges from the "
+                         "portable kernel at flat index %zu (%d vs %d)\n",
+                         simdIsaName(activeSimdIsa()), i, c_active[i],
+                         c_portable[i]);
+            return 1;
+        }
+    }
+
+    const int reps = 20;
+    const double tf = bestSeconds([&] { return matmulBT(a, b); }, reps);
+    const double ti = bestSeconds([&] { return int8MatmulBT(qa, qb); },
+                                  reps);
+    const double gmacs = static_cast<double>(n) * static_cast<double>(n) *
+                         static_cast<double>(n) * 1e-9;
+    std::printf("smoke: int8 gemm n=%zu isa=%s threads=%zu\n"
+                "smoke: fp32 %.3f ms (%.2f GMAC/s), int8 %.3f ms "
+                "(%.2f GMAC/s) — %.2fx\n",
+                n, simdIsaName(activeSimdIsa()),
+                ThreadPool::globalConcurrency(), tf * 1e3, gmacs / tf,
+                ti * 1e3, gmacs / ti, tf / ti);
+    if (activeSimdIsa() == SimdIsa::Avx2 && ti >= tf) {
+        std::fprintf(stderr,
+                     "smoke: FAIL — int8 GEMM is not faster than fp32 "
+                     "at 512^3 on AVX2\n");
         return 1;
     }
     std::printf("smoke: PASS\n");

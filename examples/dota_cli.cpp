@@ -71,7 +71,8 @@ struct CliOptions
 {
     std::string benchmark = "Text";
     std::string device = "dota";
-    std::string attn; ///< empty: keep DOTA_ATTN / auto resolution
+    std::string attn;      ///< empty: keep DOTA_ATTN / auto resolution
+    std::string precision; ///< empty = fp32 (FX16 datapath)
     DotaMode mode = DotaMode::Conservative;
     size_t lanes = 24;
     bool generation = false;
@@ -111,6 +112,7 @@ usage()
         "                [--parallelism T] [--dataflow ooo|inorder|"
         "rowbyrow|streaming]\n"
         "                [--attn auto|dense|sparse|streaming|list]\n"
+        "                [--precision fp32|int8|list]\n"
         "                [--sigma S] [--bits 2|4|8] [--overlap]\n"
         "                [--generation] [--trace] [--csv]\n"
         "       dota_cli --serve [--accelerators N] [--arrival-rate R]\n"
@@ -174,6 +176,8 @@ parse(int argc, char **argv)
             opt.device = toLower(need(i));
         } else if (arg == "--attn") {
             opt.attn = toLower(need(i));
+        } else if (arg == "--precision") {
+            opt.precision = toLower(need(i));
         } else if (arg == "--mode") {
             const std::string m = toLower(need(i));
             if (m == "full")
@@ -312,6 +316,43 @@ listDevices(std::ostream &os)
     t.print(os);
 }
 
+/** Print the precision table (one row per --precision value). */
+void
+listPrecisions(std::ostream &os)
+{
+    os << "inference precisions (--precision):\n"
+       << "  fp32  float software path; FX16 accelerator datapath "
+          "(the paper baseline)\n"
+       << "  int8  quantized path (DESIGN.md §16): u8 x s8 maddubs GEMM "
+          "kernels + integer softmax\n"
+       << "        in software, INT8 RMMU datapath and 1-byte operand/KV "
+          "traffic in the simulator\n";
+}
+
+/**
+ * Resolve --precision into SimOptions::datapath, mirroring deviceKey():
+ * unknown values print the precision table and exit 2; "list" prints it
+ * and exits 0.
+ */
+void
+applyPrecision(CliOptions &opt)
+{
+    if (opt.precision.empty() || opt.precision == "fp32")
+        return;
+    if (opt.precision == "list") {
+        listPrecisions(std::cout);
+        std::exit(0);
+    }
+    if (opt.precision == "int8") {
+        opt.sim.datapath = Precision::INT8;
+        return;
+    }
+    std::cerr << "unknown --precision value '" << opt.precision
+              << "'; pick one of these:\n";
+    listPrecisions(std::cerr);
+    std::exit(2);
+}
+
 /** Map legacy aliases onto registry keys. */
 std::string
 deviceKey(const CliOptions &opt)
@@ -358,6 +399,7 @@ runServe(const CliOptions &opt)
     DeviceSpec spec;
     spec.key = deviceKey(opt);
     spec.count = opt.accelerators;
+    spec.opts.sim = opt.sim; // --precision/--parallelism/... flow through
     sc.devices = {spec};
     sc.policy = opt.policy;
     const RequestTrace trace = generateTrace(opt.arrivals);
@@ -385,10 +427,16 @@ runGenerate(const CliOptions &opt)
     DeviceSpec spec;
     spec.key = deviceKey(opt);
     spec.count = opt.accelerators;
+    spec.opts.sim = opt.sim; // --precision/--parallelism/... flow through
     ec.devices = {spec};
     ec.policy = opt.policy;
     ec.batch = opt.batch;
     ec.kv = opt.kv;
+    // An int8 KV cache stores 1-byte codes instead of fp32: 4x the
+    // tokens per page budget (per-tensor scales are amortized away).
+    if (opt.sim.datapath == Precision::INT8 && ec.kv.bytes_per_token == 0)
+        ec.kv.bytes_per_token =
+            2 * bench.paper_shape.layers * bench.paper_shape.dim;
     ec.migrate = opt.migrate;
     GenTraceConfig tc;
     tc.arrivals = opt.arrivals;
@@ -527,7 +575,10 @@ printReport(const RunReport &r, bool csv)
         t.print(std::cout);
     std::cout << "layers: " << r.layers << ", total time "
               << fmtNum(r.timeMs(), 3) << "ms, total energy "
-              << fmtNum(r.totalEnergyJ() * 1e3, 3) << "mJ\n";
+              << fmtNum(r.totalEnergyJ() * 1e3, 3) << "mJ";
+    if (!r.datapath.empty())
+        std::cout << ", datapath " << r.datapath;
+    std::cout << "\n";
 }
 
 /**
@@ -568,8 +619,9 @@ applyAttnChoice(const CliOptions &opt)
 int
 main(int argc, char **argv)
 {
-    const CliOptions opt = parse(argc, argv);
+    CliOptions opt = parse(argc, argv);
     applyAttnChoice(opt);
+    applyPrecision(opt);
     if (opt.device == "list") {
         listDevices(std::cout);
         return 0;

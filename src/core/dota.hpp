@@ -47,7 +47,10 @@
 #include "device/registry.hpp"
 #include "nn/attention_backend.hpp"
 #include "nn/decode.hpp"
+#include "nn/int8_infer.hpp"
 #include "nn/serialize.hpp"
+#include "tensor/int8_gemm.hpp"
+#include "tensor/int_softmax.hpp"
 #include "sched/dataflow.hpp"
 #include "serve/dispatcher.hpp"
 #include "serve/engine.hpp"

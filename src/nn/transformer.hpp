@@ -71,6 +71,10 @@ class TransformerClassifier : public Module
     const TransformerConfig &config() const { return cfg_; }
     std::vector<std::unique_ptr<EncoderBlock>> &blocks() { return blocks_; }
 
+    /** Accessors for the int8 inference path (nn/int8_infer.hpp). */
+    LinearLayer &inputLayer() { return input_; }
+    LinearLayer &headLayer() { return head_; }
+
   private:
     TransformerConfig cfg_;
     Rng init_rng_;

@@ -49,6 +49,26 @@ detectScorePrecision(int bits)
     }
 }
 
+/**
+ * RMMU-executable datapath precision: INT8 runs on the PE
+ * sub-multipliers; everything else (FX16, and FP32 which has no RMMU
+ * mapping) runs as FX16, the array's native float format.
+ */
+Precision
+datapathPrecision(const SimOptions &opt)
+{
+    return opt.datapath == Precision::INT8 ? Precision::INT8
+                                           : Precision::FX16;
+}
+
+/** Bytes per datapath element (2 at FX16, 1 at INT8). */
+uint64_t
+datapathBytes(const SimOptions &opt)
+{
+    return static_cast<uint64_t>(precisionBits(datapathPrecision(opt))) /
+           8;
+}
+
 /** SRAM bytes a lane can move per cycle. */
 double
 laneSramBytesPerCycle(const HwConfig &hw)
@@ -112,9 +132,12 @@ DotaAccelerator::finalizePhase(PhaseCost &phase,
 }
 
 PhaseCost
-DotaAccelerator::linearPhase(const ModelShape &shape) const
+DotaAccelerator::linearPhase(const ModelShape &shape,
+                             const SimOptions &opt) const
 {
     const uint64_t n = shape.seq_len, d = shape.dim, ffn = shape.ffn_dim;
+    const Precision prec = datapathPrecision(opt);
+    const uint64_t eb = datapathBytes(opt);
     PhaseCost phase;
     phase.name = "linear";
 
@@ -128,32 +151,37 @@ DotaAccelerator::linearPhase(const ModelShape &shape) const
 
     uint64_t compute = 0;
     for (const Gemm &g : gemms) {
-        compute += rmmu_.gemmCycles(g.m, g.k, perLane(g.nout),
-                                    Precision::FX16);
+        compute += rmmu_.gemmCycles(g.m, g.k, perLane(g.nout), prec);
         phase.macs += g.m * g.k * g.nout;
         // Operand traffic with output-stationary tiling: A re-read per
         // column tile, B re-read per row tile, C written once.
         const uint64_t col_tiles =
             ceilDiv(perLane(g.nout), hw_.lane.rmmu.pe_cols);
         const uint64_t row_tiles = ceilDiv(g.m, hw_.lane.rmmu.pe_rows);
-        phase.sram_bytes += 2 * (g.m * g.k * col_tiles * hw_.lanes +
-                                 g.k * g.nout * row_tiles) +
-                            2 * g.m * g.nout;
+        phase.sram_bytes += eb * (g.m * g.k * col_tiles * hw_.lanes +
+                                  g.k * g.nout * row_tiles) +
+                            eb * g.m * g.nout;
     }
 
     // Weights stream from DRAM once per layer (they exceed on-chip SRAM
     // for every evaluated model).
-    phase.dram_bytes = 2 * (4 * d * d + 2 * d * ffn);
+    phase.dram_bytes = eb * (4 * d * d + 2 * d * ffn);
 
     // Cross-lane partial-sum accumulation (Figure 5b).
     const uint64_t accums = n * (2 * d + ffn);
     compute += ceilDiv(accums, hw_.accumulator_width);
 
+    // INT8 requantizes every GEMM output back to the activation grid in
+    // the MFU (DESIGN.md §16's inter-layer requantization points).
+    const uint64_t requants =
+        prec == Precision::INT8 ? n * (3 * d + d + ffn + d) : 0;
+
     phase.energy_pj =
-        static_cast<double>(phase.macs) * em_.macPj(Precision::FX16) +
+        static_cast<double>(phase.macs) * em_.macPj(prec) +
         static_cast<double>(phase.sram_bytes) * em_.sram_read_pj +
         static_cast<double>(phase.dram_bytes) * em_.dram_pj +
-        static_cast<double>(accums) * em_.accumulator_pj;
+        static_cast<double>(accums) * em_.accumulator_pj +
+        static_cast<double>(requants) * em_.quant_pj;
 
     finalizePhase(phase, compute);
     return phase;
@@ -230,6 +258,8 @@ DotaAccelerator::attentionPhase(const ModelShape &shape,
     const uint64_t dh = shape.headDim();
     const size_t t = opt.token_parallelism;
     const bool dense = retention >= 1.0;
+    const Precision prec = datapathPrecision(opt);
+    const uint64_t eb = datapathBytes(opt);
 
     PhaseCost phase;
     phase.name = "attention";
@@ -241,17 +271,18 @@ DotaAccelerator::attentionPhase(const ModelShape &shape,
         connections = n * n;
         key_loads = ceilDiv(n, t) * n; // every group streams all keys
         compute += ceilDiv(
-            h * (rmmu_.gemmCycles(n, dh, n, Precision::FX16) +
-                 rmmu_.gemmCycles(n, n, dh, Precision::FX16)),
+            h * (rmmu_.gemmCycles(n, dh, n, prec) +
+                 rmmu_.gemmCycles(n, n, dh, prec)),
             hw_.lanes);
     } else {
         connections = dataflow.connections;
         key_loads = dataflow.key_loads;
         // S = QK^T then A*V reuse the same schedule (Section 4.3);
-        // query groups distribute across lanes.
+        // query groups distribute across lanes. INT8 shortens each
+        // T-slot dot product by the PE micro-MAC factor (4x).
         compute += ceilDiv(
             h * 2 * rmmu_.sparseAttentionCycles(dataflow.rounds, t, dh),
-            hw_.lanes);
+            hw_.lanes * rmmuMacsPerPe(prec));
     }
     phase.macs = 2 * h * connections * dh;
 
@@ -263,7 +294,7 @@ DotaAccelerator::attentionPhase(const ModelShape &shape,
     if (dataflow.tile_flushes > 0) {
         compute += ceilDiv(
             h * rmmu_.sparseAttentionCycles(dataflow.tile_flushes, t, dh),
-            hw_.lanes);
+            hw_.lanes * rmmuMacsPerPe(prec));
         phase.macs += h * dataflow.tile_flushes * t * dh;
     }
 
@@ -274,22 +305,22 @@ DotaAccelerator::attentionPhase(const ModelShape &shape,
                ceilDiv(sm_elems,
                        hw_.lane.mfu_div_units * hw_.lanes);
 
-    // Key and value vector traffic (2 bytes/element, FX16).
-    const uint64_t kv_bytes = h * 2 * key_loads * dh * 2;
-    phase.sram_bytes = kv_bytes + 2 * n * shape.dim /* output write */ +
-                       2 * sm_elems /* scores through MFU */;
+    // Key and value vector traffic at the datapath element width.
+    const uint64_t kv_bytes = h * 2 * key_loads * dh * eb;
+    phase.sram_bytes = kv_bytes + eb * n * shape.dim /* output write */ +
+                       eb * sm_elems /* scores through MFU */;
 
     // When the K/V working set exceeds the SRAM budget, the layer runs
     // key-stationary: K and V stream from DRAM once per layer and every
     // scheduled load is then SRAM-served from the resident tile.
     const double kv_resident = static_cast<double>(
-        n * dh * ceilDiv(h, hw_.lanes) * 2 * 2);
+        n * dh * ceilDiv(h, hw_.lanes) * 2 * eb);
     const double budget = 0.7 * static_cast<double>(hw_.lane.sramBytes());
     if (kv_resident > budget)
-        phase.dram_bytes = h * n * dh * 2 * 2;
+        phase.dram_bytes = h * n * dh * 2 * eb;
 
     phase.energy_pj =
-        static_cast<double>(phase.macs) * em_.macPj(Precision::FX16) +
+        static_cast<double>(phase.macs) * em_.macPj(prec) +
         static_cast<double>(sm_elems) *
             (em_.mfu_exp_pj + em_.mfu_div_pj + 2.0 * em_.quant_pj) +
         static_cast<double>(phase.sram_bytes) * em_.sram_read_pj +
@@ -305,7 +336,7 @@ DotaAccelerator::encoderLayer(const ModelShape &shape,
                               const DataflowStats &dataflow) const
 {
     LayerReport report;
-    report.linear = linearPhase(shape);
+    report.linear = linearPhase(shape, opt);
     if (retention < 1.0)
         report.detection = detectionPhase(shape, opt, dataflow);
     else
@@ -335,6 +366,8 @@ DotaAccelerator::decoderLayer(const ModelShape &shape,
         1, static_cast<uint64_t>(opt.detector_sigma *
                                  static_cast<double>(dh)));
     const bool dense = retention >= 1.0;
+    const Precision prec = datapathPrecision(opt);
+    const uint64_t eb = datapathBytes(opt);
 
     LayerReport report;
     report.linear.name = "linear";
@@ -343,20 +376,19 @@ DotaAccelerator::decoderLayer(const ModelShape &shape,
 
     // Per-token GEMV compute is identical for every step.
     const uint64_t linear_cycles_tok =
-        rmmu_.gemmCycles(1, d, perLane(3 * d), Precision::FX16) +
-        rmmu_.gemmCycles(1, d, perLane(d), Precision::FX16) +
-        rmmu_.gemmCycles(1, d, perLane(ffn), Precision::FX16) +
-        rmmu_.gemmCycles(1, ffn, perLane(d), Precision::FX16);
+        rmmu_.gemmCycles(1, d, perLane(3 * d), prec) +
+        rmmu_.gemmCycles(1, d, perLane(d), prec) +
+        rmmu_.gemmCycles(1, d, perLane(ffn), prec) +
+        rmmu_.gemmCycles(1, ffn, perLane(d), prec);
     const uint64_t linear_macs_tok = 4 * d * d + 2 * d * ffn;
-    const uint64_t weight_bytes_tok = 2 * (4 * d * d + 2 * d * ffn);
+    const uint64_t weight_bytes_tok = eb * (4 * d * d + 2 * d * ffn);
 
     uint64_t linear_compute = n * linear_cycles_tok;
     report.linear.macs = n * linear_macs_tok;
     report.linear.dram_bytes = n * weight_bytes_tok; // streamed per token
-    report.linear.sram_bytes = n * 2 * (3 * d + d + ffn + d);
+    report.linear.sram_bytes = n * eb * (3 * d + d + ffn + d);
     report.linear.energy_pj =
-        static_cast<double>(report.linear.macs) *
-            em_.macPj(Precision::FX16) +
+        static_cast<double>(report.linear.macs) * em_.macPj(prec) +
         static_cast<double>(report.linear.dram_bytes) * em_.dram_pj +
         static_cast<double>(report.linear.sram_bytes) * em_.sram_read_pj;
     finalizePhase(report.linear, linear_compute);
@@ -391,7 +423,7 @@ DotaAccelerator::decoderLayer(const ModelShape &shape,
         }
         // Sparse GEMV against kept keys, then kept values.
         att_compute +=
-            h_lane * 2 * rmmu_.gemmCycles(1, dh, keep, Precision::FX16);
+            h_lane * 2 * rmmu_.gemmCycles(1, dh, keep, prec);
         att_compute += ceilDiv(h_lane * keep, hw_.lane.mfu_exp_units) +
                        ceilDiv(h_lane * keep, hw_.lane.mfu_div_units);
     }
@@ -411,11 +443,11 @@ DotaAccelerator::decoderLayer(const ModelShape &shape,
     report.attention.macs = 2 * h * kept_total * dh;
     // The K/V cache lives in DRAM at these lengths; only selected
     // vectors are fetched — the decoder's memory saving (Section 4.4).
-    report.attention.dram_bytes = h * 2 * kept_total * dh * 2;
-    report.attention.sram_bytes = h * 2 * kept_total * dh * 2;
+    // An INT8 datapath halves the fetched bytes per kept vector.
+    report.attention.dram_bytes = h * 2 * kept_total * dh * eb;
+    report.attention.sram_bytes = h * 2 * kept_total * dh * eb;
     report.attention.energy_pj =
-        static_cast<double>(report.attention.macs) *
-            em_.macPj(Precision::FX16) +
+        static_cast<double>(report.attention.macs) * em_.macPj(prec) +
         static_cast<double>(h * kept_total) *
             (em_.mfu_exp_pj + em_.mfu_div_pj + 2.0 * em_.quant_pj) +
         static_cast<double>(report.attention.dram_bytes) * em_.dram_pj +
@@ -451,6 +483,7 @@ DotaAccelerator::simulateGeneration(const Benchmark &bench,
     RunReport report;
     report.device = dotaModeName(opt.mode) + " (generation)";
     report.benchmark = bench.name;
+    report.datapath = precisionName(datapathPrecision(opt));
     report.freq_ghz = hw_.freq_ghz;
     report.layers = bench.paper_shape.layers;
     report.per_layer = decoderLayer(bench.paper_shape, opt, retention);
@@ -470,6 +503,7 @@ DotaAccelerator::simulateWithMask(const Benchmark &bench,
     RunReport report;
     report.device = dotaModeName(opt.mode);
     report.benchmark = bench.name;
+    report.datapath = precisionName(datapathPrecision(opt));
     report.freq_ghz = hw_.freq_ghz;
     report.layers = shape.layers;
 

@@ -56,6 +56,16 @@ struct SimOptions
      */
     bool overlap_detection = false;
     uint64_t mask_seed = 99;      ///< representative-mask generation
+    /**
+     * Numeric precision of the model datapath — the Linear and
+     * Attention GEMMs and their operand/KV/weight traffic. FX16 is the
+     * paper's baseline; INT8 models the quantized inference path of
+     * DESIGN.md §16 (4x MACs/PE on the RMMU sub-multipliers, 1-byte
+     * operands, 0.27 pJ/MAC vs 1.00). Detection precision is separate
+     * (detector_bits). FP32 has no RMMU mapping (rmmuMacsPerPe() == 0)
+     * and is treated as FX16 — the accelerator's native float format.
+     */
+    Precision datapath = Precision::FX16;
 };
 
 /** The DOTA accelerator simulator. */
@@ -103,7 +113,8 @@ class DotaAccelerator
     const EnergyModel &energyModel() const { return em_; }
 
   private:
-    PhaseCost linearPhase(const ModelShape &shape) const;
+    PhaseCost linearPhase(const ModelShape &shape,
+                          const SimOptions &opt) const;
     PhaseCost detectionPhase(const ModelShape &shape,
                              const SimOptions &opt,
                              const DataflowStats &dataflow) const;

@@ -39,6 +39,11 @@ struct RunReport
 {
     std::string device;        ///< "DOTA-C", "GPU", "ELSA", ...
     std::string benchmark;
+    /**
+     * Datapath precision the run was modelled at ("FX16" / "INT8");
+     * empty for devices without the knob (GPU, ELSA).
+     */
+    std::string datapath;
     double freq_ghz = 1.0;
     LayerReport per_layer;     ///< one layer (all layers identical)
     size_t layers = 0;

@@ -290,6 +290,150 @@ sparseAvRowAvx2(const float *vals, const uint32_t *cols, size_t nnz,
     }
 }
 
+/*
+ * ---- int8 family -------------------------------------------------------
+ *
+ * u8 x s8 codes, exact s32 sums. One k-step consumes 32 bytes per
+ * operand row: vpmaddubsw forms 16 s16 pair products a_p*b_p + a_{p+1}*
+ * b_{p+1} (saturating, but the quantizer bounds u8 codes to [0, 127] so
+ * the pair sum tops out at 32258 and never saturates — the kernel is
+ * exact), then vpmaddwd against ones widens pairs to 8 s32 partials
+ * which accumulate with vpaddd. Integer addition is associative, so no
+ * reduction-order contract is needed for portable parity.
+ */
+
+/** Sum the 8 s32 lanes of @p v. */
+inline int32_t
+hsumEpi32(__m256i v)
+{
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+    return _mm_cvtsi128_si32(s);
+}
+
+/** One maddubs k-step: 32 u8 x s8 products folded into 8 s32 lanes. */
+inline __m256i
+maddStep(__m256i acc, const uint8_t *x, const int8_t *y, size_t p)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(x + p));
+    const __m256i yv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(y + p));
+    const __m256i pair = _mm256_maddubs_epi16(xv, yv);
+    return _mm256_add_epi32(acc, _mm256_madd_epi16(pair, ones));
+}
+
+int32_t
+int8DotAvx2(const uint8_t *x, const int8_t *y, size_t k)
+{
+    __m256i acc = _mm256_setzero_si256();
+    const size_t kb = k - k % 32;
+    for (size_t p = 0; p < kb; p += 32)
+        acc = maddStep(acc, x, y, p);
+    int32_t r = hsumEpi32(acc);
+    for (size_t p = kb; p < k; ++p)
+        r += static_cast<int32_t>(x[p]) * static_cast<int32_t>(y[p]);
+    return r;
+}
+
+/**
+ * Reduce four 8-lane s32 accumulators to their lane sums packed as
+ * [sum v0, sum v1, sum v2, sum v3].
+ */
+inline __m128i
+hsum4Epi32(__m256i v0, __m256i v1, __m256i v2, __m256i v3)
+{
+    const __m256i s01 = _mm256_hadd_epi32(v0, v1);
+    const __m256i s23 = _mm256_hadd_epi32(v2, v3);
+    const __m256i s = _mm256_hadd_epi32(s01, s23);
+    return _mm_add_epi32(_mm256_castsi256_si128(s),
+                         _mm256_extracti128_si256(s, 1));
+}
+
+/**
+ * 2 x 4 register tile: 2 A rows against 4 B rows, 8 YMM accumulators,
+ * 6 loads per 32-element k-step. Tails fall back to int8DotAvx2 —
+ * exactness makes any decomposition equivalent.
+ */
+void
+int8GemmBTRowsAvx2(const uint8_t *a, const int8_t *b, int32_t *c,
+                   size_t k, size_t n, size_t i0, size_t i1)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    const size_t kb = k - k % 32;
+    size_t i = i0;
+    for (; i + 2 <= i1; i += 2) {
+        const uint8_t *a0 = a + i * k;
+        const uint8_t *a1 = a0 + k;
+        int32_t *c0 = c + i * n;
+        int32_t *c1 = c0 + n;
+        size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const int8_t *b0 = b + j * k;
+            const int8_t *b1 = b0 + k;
+            const int8_t *b2 = b1 + k;
+            const int8_t *b3 = b2 + k;
+            __m256i acc[2][4];
+            for (int r = 0; r < 2; ++r)
+                for (int s = 0; s < 4; ++s)
+                    acc[r][s] = _mm256_setzero_si256();
+            for (size_t p = 0; p < kb; p += 32) {
+                const __m256i av0 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a0 + p));
+                const __m256i av1 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a1 + p));
+                const int8_t *brows[4] = {b0 + p, b1 + p, b2 + p, b3 + p};
+                for (int s = 0; s < 4; ++s) {
+                    const __m256i bv = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(brows[s]));
+                    acc[0][s] = _mm256_add_epi32(
+                        acc[0][s],
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(av0, bv),
+                                          ones));
+                    acc[1][s] = _mm256_add_epi32(
+                        acc[1][s],
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(av1, bv),
+                                          ones));
+                }
+            }
+            __m128i r0 = hsum4Epi32(acc[0][0], acc[0][1], acc[0][2],
+                                    acc[0][3]);
+            __m128i r1 = hsum4Epi32(acc[1][0], acc[1][1], acc[1][2],
+                                    acc[1][3]);
+            if (kb < k) {
+                alignas(16) int32_t t0[4], t1[4];
+                _mm_storeu_si128(reinterpret_cast<__m128i *>(t0), r0);
+                _mm_storeu_si128(reinterpret_cast<__m128i *>(t1), r1);
+                const int8_t *brows[4] = {b0, b1, b2, b3};
+                for (size_t p = kb; p < k; ++p)
+                    for (int s = 0; s < 4; ++s) {
+                        t0[s] += static_cast<int32_t>(a0[p]) * brows[s][p];
+                        t1[s] += static_cast<int32_t>(a1[p]) * brows[s][p];
+                    }
+                r0 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(t0));
+                r1 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(t1));
+            }
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(c0 + j), r0);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(c1 + j), r1);
+        }
+        for (; j < n; ++j) {
+            const int8_t *brow = b + j * k;
+            c0[j] = int8DotAvx2(a0, brow, k);
+            c1[j] = int8DotAvx2(a1, brow, k);
+        }
+    }
+    for (; i < i1; ++i) {
+        const uint8_t *arow = a + i * k;
+        int32_t *crow = c + i * n;
+        for (size_t j = 0; j < n; ++j)
+            crow[j] = int8DotAvx2(arow, b + j * k, k);
+    }
+}
+
 } // namespace
 
 const GemmKernelTable &
@@ -298,6 +442,7 @@ avx2GemmKernels()
     static const GemmKernelTable table = {
         matmulRowsAvx2,   matmulATRowsAvx2, matmulBTRowsAvx2,
         dotAvx2,          sparseScoreRowAvx2, sparseAvRowAvx2,
+        int8GemmBTRowsAvx2, int8DotAvx2,
     };
     return table;
 }

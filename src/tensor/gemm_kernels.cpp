@@ -112,6 +112,32 @@ sparseAvRowPortable(const float *vals, const uint32_t *cols, size_t nnz,
     }
 }
 
+/**
+ * Exact s32 dot of u8 x s8 codes. Plain ascending loop — integer
+ * addition is associative, so no lane-split mimicry is needed for
+ * parity with the AVX2 maddubs path (see gemm_kernels.hpp).
+ */
+int32_t
+int8DotPortable(const uint8_t *x, const int8_t *y, size_t k)
+{
+    int32_t acc = 0;
+    for (size_t p = 0; p < k; ++p)
+        acc += static_cast<int32_t>(x[p]) * static_cast<int32_t>(y[p]);
+    return acc;
+}
+
+void
+int8GemmBTRowsPortable(const uint8_t *a, const int8_t *b, int32_t *c,
+                       size_t k, size_t n, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i) {
+        const uint8_t *arow = a + i * k;
+        int32_t *crow = c + i * n;
+        for (size_t j = 0; j < n; ++j)
+            crow[j] = int8DotPortable(arow, b + j * k, k);
+    }
+}
+
 } // namespace
 
 const GemmKernelTable &
@@ -121,6 +147,7 @@ portableGemmKernels()
         matmulRowsPortable,   matmulATRowsPortable,
         matmulBTRowsPortable, dotPortable,
         sparseScoreRowPortable, sparseAvRowPortable,
+        int8GemmBTRowsPortable, int8DotPortable,
     };
     return table;
 }

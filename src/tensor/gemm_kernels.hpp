@@ -85,6 +85,28 @@ struct GemmKernelTable
      */
     void (*sparseAvRow)(const float *vals, const uint32_t *cols,
                         size_t nnz, const Matrix &v, float *out);
+
+    /**
+     * Integer GEMM rows [i0, i1) of C = A * B^T on quantized codes:
+     * A is m x k unsigned 8-bit codes (row-major, lda = k), B is n x k
+     * signed 8-bit codes (row-major, ldb = k), C is m x n raw sums
+     *     C[i*n + j] = sum_p a[i*k + p] * b[j*k + p]
+     * in 32-bit integers, overwriting C rows.
+     *
+     * Unlike the float families above, no reduction-order contract is
+     * needed: s32 addition is associative and the operand ranges are
+     * chosen so the AVX2 maddubs path cannot saturate (u8 codes stay in
+     * [0, 127] and s8 codes in [-127, 127], so a maddubs pair sum is at
+     * most 127*127*2 = 32258 < 32767). Every instantiation is therefore
+     * exact — portable/AVX2/any-thread-count parity holds by arithmetic,
+     * not by convention. Caller guarantees k*16129 < 2^31 (k <= ~133k).
+     * Zero-point compensation is the caller's job (tensor/quant.cpp).
+     */
+    void (*int8GemmBTRows)(const uint8_t *a, const int8_t *b, int32_t *c,
+                           size_t k, size_t n, size_t i0, size_t i1);
+
+    /** Exact s32 dot of u8 codes x[0..k) and s8 codes y[0..k). */
+    int32_t (*int8Dot)(const uint8_t *x, const int8_t *y, size_t k);
 };
 
 /**

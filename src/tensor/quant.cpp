@@ -78,34 +78,71 @@ rmmuMacsPerPe(Precision p)
     DOTA_PANIC("unknown precision");
 }
 
+float
+symmetricScaleFromMaxAbs(float max_abs, int qmax)
+{
+    DOTA_ASSERT(qmax > 0, "symmetric grid needs a positive qmax");
+    if (!std::isfinite(max_abs) || max_abs <= 0.0f)
+        return 1.0f;
+    return max_abs / static_cast<float>(qmax);
+}
+
 QuantParams
 chooseSymmetricScale(const Matrix &m, int bits)
 {
     DOTA_ASSERT(bits >= 2 && bits <= 16, "unsupported bit width {}", bits);
     float max_abs = 0.0f;
-    for (size_t i = 0; i < m.size(); ++i)
-        max_abs = std::max(max_abs, std::abs(m.data()[i]));
+    for (size_t i = 0; i < m.size(); ++i) {
+        const float a = std::abs(m.data()[i]);
+        if (std::isfinite(a))
+            max_abs = std::max(max_abs, a);
+    }
     QuantParams p;
     p.bits = bits;
-    const float qmax = static_cast<float>(p.qmax());
-    p.scale = max_abs > 0.0f ? max_abs / qmax : 1.0f;
+    p.scale = symmetricScaleFromMaxAbs(max_abs, p.qmax());
     return p;
+}
+
+namespace {
+
+/**
+ * Round x/scale to the nearest code in [qmin, qmax]. Saturates out-of-
+ * range and infinite values; NaN (from a NaN input) maps to 0. A
+ * degenerate scale would make the quotient Inf/NaN and std::lround of
+ * that is undefined behavior, so the guard runs on the quotient itself.
+ */
+int
+quantizeOne(float x, float scale, int qmin, int qmax)
+{
+    const float safe_scale =
+        (std::isfinite(scale) && scale > 0.0f) ? scale : 1.0f;
+    const float v = x / safe_scale;
+    if (std::isnan(v))
+        return 0;
+    if (v >= static_cast<float>(qmax))
+        return qmax;
+    if (v <= static_cast<float>(qmin))
+        return qmin;
+    return static_cast<int>(std::lround(v));
+}
+
+} // namespace
+
+QuantizedMatrix
+quantize(const Matrix &m, QuantParams params)
+{
+    QuantizedMatrix q(m.rows(), m.cols(), params);
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            q.at(r, c) = static_cast<int16_t>(quantizeOne(
+                m(r, c), params.scale, params.qmin(), params.qmax()));
+    return q;
 }
 
 QuantizedMatrix
 quantize(const Matrix &m, int bits)
 {
-    const QuantParams params = chooseSymmetricScale(m, bits);
-    QuantizedMatrix q(m.rows(), m.cols(), params);
-    for (size_t r = 0; r < m.rows(); ++r) {
-        for (size_t c = 0; c < m.cols(); ++c) {
-            const float v = m(r, c) / params.scale;
-            int code = static_cast<int>(std::lround(v));
-            code = std::max(params.qmin(), std::min(params.qmax(), code));
-            q.at(r, c) = static_cast<int16_t>(code);
-        }
-    }
-    return q;
+    return quantize(m, chooseSymmetricScale(m, bits));
 }
 
 Matrix

@@ -52,8 +52,23 @@ struct QuantParams
     int qmax() const { return (1 << (bits - 1)) - 1; }
 };
 
-/** Pick the symmetric scale so max |x| maps onto the integer range. */
+/**
+ * Pick the symmetric scale so max |x| maps onto the integer range.
+ * Non-finite elements are ignored when scanning for max |x| (a NaN or
+ * Inf in the tensor must not poison the scale of every other element),
+ * and an all-zero / all-non-finite tensor degrades to scale 1 so the
+ * identity `code = round(x / scale)` stays well defined.
+ */
 QuantParams chooseSymmetricScale(const Matrix &m, int bits);
+
+/**
+ * Scale for a symmetric grid with integer range [-qmax, qmax] given a
+ * calibrated max |x|: max_abs / qmax, degrading to 1 when max_abs is
+ * zero or non-finite. This is the scalar core of chooseSymmetricScale,
+ * exposed for calibration passes that track running max |x| per tensor
+ * site instead of holding the tensor itself.
+ */
+float symmetricScaleFromMaxAbs(float max_abs, int qmax);
 
 /** A matrix stored as b-bit signed integer codes plus one scale. */
 class QuantizedMatrix
@@ -85,6 +100,13 @@ class QuantizedMatrix
 
 /** Quantize @p m to @p bits with a tensor-wide symmetric scale. */
 QuantizedMatrix quantize(const Matrix &m, int bits);
+
+/**
+ * Quantize @p m with explicit (e.g. calibrated) parameters. Values
+ * beyond the representable range saturate to qmin/qmax; NaN maps to
+ * code 0 and a degenerate scale (zero or non-finite) is treated as 1.
+ */
+QuantizedMatrix quantize(const Matrix &m, QuantParams params);
 
 /** Dequantize back to float. */
 Matrix dequantize(const QuantizedMatrix &q);

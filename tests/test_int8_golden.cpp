@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Golden-value regression test for the int8 inference path: a greedy
+ * int8 generation trajectory plus fixed-seed classifier/LM logits are
+ * checked in under tests/data/ and must reproduce bit-for-bit at
+ * DOTA_THREADS=1 *and* DOTA_THREADS=8. Unlike the fp golden
+ * (test_training_golden.cpp), thread invariance here is by arithmetic —
+ * every integer GEMM is exact — not by a reduction-order convention.
+ *
+ * Regenerate (after an intentional numerics change) with:
+ *   DOTA_REGEN_GOLDEN=1 ./dota_parallel_tests \
+ *       --gtest_filter='Int8Golden.*'
+ * and commit the rewritten tests/data/golden_int8_infer.txt.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/int8_infer.hpp"
+#include "tensor/ops.hpp"
+
+namespace dota {
+namespace {
+
+using Trajectories = std::map<std::string, std::vector<double>>;
+
+std::string
+goldenPath()
+{
+    return std::string(DOTA_TEST_DATA_DIR) + "/golden_int8_infer.txt";
+}
+
+std::vector<int>
+randomIds(size_t n, int vocab, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int> ids(n);
+    for (auto &id : ids)
+        id = static_cast<int>(rng.uniformInt(vocab));
+    return ids;
+}
+
+/**
+ * The recorded trajectories: greedy generation tokens, the last row of
+ * the LM logits over the generated sequence, and one classifier logits
+ * row — all from fixed seeds.
+ */
+Trajectories
+runTrajectories()
+{
+    Trajectories out;
+
+    TransformerConfig lm_cfg;
+    lm_cfg.dim = 32;
+    lm_cfg.heads = 4;
+    lm_cfg.layers = 2;
+    lm_cfg.ffn_dim = 64;
+    lm_cfg.vocab = 48;
+    lm_cfg.max_seq = 64;
+    lm_cfg.seed = 7;
+    CausalLM lm(lm_cfg);
+    std::vector<std::vector<int>> lm_calib;
+    for (int i = 0; i < 4; ++i)
+        lm_calib.push_back(randomIds(20, lm_cfg.vocab, 700 + i));
+    const Int8Plan lm_plan = quantizeLM(lm, calibrateLM(lm, lm_calib));
+
+    const std::vector<int> tokens =
+        int8Generate(lm, lm_plan, {1, 2, 3}, 12);
+    for (int t : tokens)
+        out["tokens"].push_back(static_cast<double>(t));
+    const Matrix logits = int8Forward(lm, lm_plan, tokens);
+    for (size_t j = 0; j < 8; ++j)
+        out["lm_logits"].push_back(logits(logits.rows() - 1, j));
+
+    TransformerConfig cl_cfg;
+    cl_cfg.in_dim = 12;
+    cl_cfg.dim = 32;
+    cl_cfg.heads = 4;
+    cl_cfg.layers = 2;
+    cl_cfg.ffn_dim = 64;
+    cl_cfg.classes = 5;
+    cl_cfg.max_seq = 32;
+    cl_cfg.seed = 3;
+    TransformerClassifier cl(cl_cfg);
+    Rng rng(71);
+    std::vector<Matrix> cl_calib;
+    for (int i = 0; i < 4; ++i)
+        cl_calib.push_back(Matrix::randomNormal(10, cl_cfg.in_dim, rng));
+    const Int8Plan cl_plan =
+        quantizeClassifier(cl, calibrateClassifier(cl, cl_calib));
+    const Matrix features = Matrix::randomNormal(10, cl_cfg.in_dim, rng);
+    const Matrix cl_logits = int8Forward(cl, cl_plan, features);
+    for (size_t j = 0; j < cl_logits.cols(); ++j)
+        out["classifier"].push_back(cl_logits(0, j));
+
+    return out;
+}
+
+/** Values serialized as hex floats so the round trip is bit-exact. */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+Trajectories
+readGolden()
+{
+    std::ifstream in(goldenPath());
+    Trajectories out;
+    std::string line, current;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string head;
+        ls >> head;
+        if (head == "task") {
+            ls >> current;
+            continue;
+        }
+        out[current].push_back(std::strtod(head.c_str(), nullptr));
+    }
+    return out;
+}
+
+void
+writeGolden(const Trajectories &trajectories)
+{
+    std::ofstream out(goldenPath());
+    out << "# Int8 inference trajectories (greedy generation tokens, LM\n"
+        << "# and classifier logits), fixed seeds, DOTA_THREADS=1.\n"
+        << "# Regenerate with DOTA_REGEN_GOLDEN=1 (see "
+           "test_int8_golden.cpp); values are C99 hex floats.\n";
+    for (const auto &[name, values] : trajectories) {
+        out << "task " << name << "\n";
+        for (double v : values)
+            out << formatValue(v) << "\n";
+    }
+}
+
+void
+expectMatchesGolden(const Trajectories &got, const Trajectories &golden)
+{
+    for (const auto &[name, values] : got) {
+        auto it = golden.find(name);
+        ASSERT_NE(it, golden.end()) << "task " << name;
+        ASSERT_EQ(it->second.size(), values.size()) << "task " << name;
+        for (size_t s = 0; s < values.size(); ++s)
+            EXPECT_EQ(values[s], it->second[s])
+                << "task " << name << " index " << s;
+    }
+}
+
+TEST(Int8Golden, SerialTrajectoriesMatchGoldenFile)
+{
+    Trajectories got;
+    {
+        ThreadPool::setGlobalConcurrency(1);
+        got = runTrajectories();
+        ThreadPool::setGlobalConcurrency(configuredThreads());
+    }
+    if (envFlag("DOTA_REGEN_GOLDEN")) {
+        writeGolden(got);
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+    const Trajectories golden = readGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << goldenPath()
+        << " — regenerate with DOTA_REGEN_GOLDEN=1";
+    expectMatchesGolden(got, golden);
+}
+
+TEST(Int8Golden, ParallelTrajectoriesMatchGoldenExactly)
+{
+    if (envFlag("DOTA_REGEN_GOLDEN"))
+        GTEST_SKIP() << "regeneration pass";
+    const Trajectories golden = readGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << goldenPath()
+        << " — regenerate with DOTA_REGEN_GOLDEN=1";
+    ThreadPool::setGlobalConcurrency(8);
+    const Trajectories got = runTrajectories();
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+    expectMatchesGolden(got, golden);
+}
+
+TEST(Int8Golden, BigGemmThreadCountInvariant)
+{
+    // 160^3 = 4.1M MACs sits above the parallel-dispatch threshold
+    // (2^21), so the 8-thread run takes the parallelFor path; the raw
+    // s32 outputs must still be identical to the serial run.
+    Rng rng(72);
+    const size_t n = 160;
+    const Matrix fa = Matrix::randomNormal(n, n, rng);
+    const Matrix fb = Matrix::randomNormal(n, n, rng);
+    const U8Tensor a = quantizeU8(fa, 3.0f / kU8ActQmax);
+    const Int8Tensor b = quantizeS8(fb, 3.0f / kS8Qmax);
+
+    std::vector<int32_t> serial(n * n), parallel(n * n);
+    ThreadPool::setGlobalConcurrency(1);
+    int8GemmBT(a, b, serial.data());
+    ThreadPool::setGlobalConcurrency(8);
+    int8GemmBT(a, b, parallel.data());
+    ThreadPool::setGlobalConcurrency(configuredThreads());
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace dota

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the integer-only inference path (nn/int8_infer.hpp): plan
+ * quantization, full-sequence forward accuracy against the fp32 model,
+ * the incremental-decode bit-identity contract, and the int8 attention
+ * backend's legality rules and numerics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/attention_backend.hpp"
+#include "nn/int8_infer.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/ops.hpp"
+
+namespace dota {
+namespace {
+
+TransformerConfig
+classifierConfig()
+{
+    TransformerConfig cfg;
+    cfg.in_dim = 12;
+    cfg.dim = 32;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.ffn_dim = 64;
+    cfg.classes = 5;
+    cfg.max_seq = 32;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TransformerConfig
+lmConfig()
+{
+    TransformerConfig cfg;
+    cfg.dim = 32;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.ffn_dim = 64;
+    cfg.vocab = 48;
+    cfg.max_seq = 64;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::vector<int>
+randomIds(size_t n, int vocab, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int> ids(n);
+    for (auto &id : ids)
+        id = static_cast<int>(rng.uniformInt(vocab));
+    return ids;
+}
+
+/** Relative error of @p got against @p ref: mse / signal power. */
+double
+relMse(const Matrix &ref, const Matrix &got)
+{
+    return mse(ref, got) /
+           (mse(ref, Matrix(ref.rows(), ref.cols())) + 1e-12);
+}
+
+TEST(Int8Infer, ClassifierTracksFp32Forward)
+{
+    TransformerClassifier model(classifierConfig());
+    Rng rng(50);
+    std::vector<Matrix> calib;
+    for (int i = 0; i < 6; ++i)
+        calib.push_back(Matrix::randomNormal(10, 12, rng));
+    const Int8Plan plan =
+        quantizeClassifier(model, calibrateClassifier(model, calib));
+    ASSERT_EQ(plan.blocks.size(), 2u);
+    ASSERT_FALSE(plan.input.empty());
+
+    double worst = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        const Matrix features = Matrix::randomNormal(10, 12, rng);
+        const Matrix fp = model.forward(features);
+        const Matrix i8 = int8Forward(model, plan, features);
+        ASSERT_EQ(i8.rows(), fp.rows());
+        ASSERT_EQ(i8.cols(), fp.cols());
+        worst = std::max(worst, relMse(fp, i8));
+    }
+    // Int8 keeps the logits close to fp32 on calibrated inputs.
+    EXPECT_LT(worst, 0.05);
+}
+
+TEST(Int8Infer, LmTracksFp32Forward)
+{
+    CausalLM model(lmConfig());
+    std::vector<std::vector<int>> calib;
+    for (int i = 0; i < 6; ++i)
+        calib.push_back(randomIds(24, 48, 60 + i));
+    const Int8Plan plan = quantizeLM(model, calibrateLM(model, calib));
+    ASSERT_TRUE(plan.input.empty()); // LM embeds tokens, no input GEMM
+
+    const std::vector<int> ids = randomIds(24, 48, 77);
+    const Matrix fp = model.forward(ids);
+    const Matrix i8 = int8Forward(model, plan, ids);
+    ASSERT_EQ(i8.rows(), fp.rows());
+    ASSERT_EQ(i8.cols(), fp.cols());
+    EXPECT_LT(relMse(fp, i8), 0.05);
+}
+
+TEST(Int8Infer, DecodeStepBitIdenticalToFullSequence)
+{
+    // The determinism contract of DESIGN.md §16: static scales + exact
+    // integer GEMMs make the incremental decode reproduce row t of the
+    // full-sequence forward *bit for bit* — EXPECT_EQ on floats.
+    CausalLM model(lmConfig());
+    std::vector<std::vector<int>> calib;
+    for (int i = 0; i < 4; ++i)
+        calib.push_back(randomIds(20, 48, 80 + i));
+    const Int8Plan plan = quantizeLM(model, calibrateLM(model, calib));
+
+    const std::vector<int> ids = randomIds(10, 48, 90);
+    const Matrix full = int8Forward(model, plan, ids);
+
+    Int8DecodeState state;
+    state.reset(plan.blocks.size());
+    for (size_t t = 0; t < ids.size(); ++t) {
+        const Matrix step = int8DecodeStep(model, plan, state, ids[t]);
+        ASSERT_EQ(step.rows(), 1u);
+        ASSERT_EQ(step.cols(), full.cols());
+        for (size_t j = 0; j < full.cols(); ++j)
+            EXPECT_EQ(step(0, j), full(t, j))
+                << "t=" << t << " j=" << j;
+    }
+}
+
+TEST(Int8Infer, GenerateIsDeterministic)
+{
+    CausalLM model(lmConfig());
+    std::vector<std::vector<int>> calib;
+    calib.push_back(randomIds(20, 48, 95));
+    const Int8Plan plan = quantizeLM(model, calibrateLM(model, calib));
+
+    const std::vector<int> prefix{1, 2, 3};
+    const std::vector<int> greedy_a = int8Generate(model, plan, prefix, 8);
+    const std::vector<int> greedy_b = int8Generate(model, plan, prefix, 8);
+    EXPECT_EQ(greedy_a, greedy_b);
+    EXPECT_GE(greedy_a.size(), prefix.size());
+
+    const std::vector<int> sampled_a =
+        int8Generate(model, plan, prefix, 8, 0.8, 42);
+    const std::vector<int> sampled_b =
+        int8Generate(model, plan, prefix, 8, 0.8, 42);
+    EXPECT_EQ(sampled_a, sampled_b);
+}
+
+// ---------------------------------------------------------------------
+// Attention backend dispatch and numerics
+// ---------------------------------------------------------------------
+
+TEST(Int8Backend, ResolveLegality)
+{
+    const auto resolve = [](AttnChoice c, bool hook, bool wants_full,
+                            bool force, bool mask, size_t n) {
+        return resolveAttnBackend(c, hook, wants_full, force, mask, n);
+    };
+    // With a hook (inference) the int8 choice applies at any length.
+    EXPECT_EQ(resolve(AttnChoice::Int8, true, false, false, false, 16),
+              AttnBackendKind::Int8);
+    // Hook-free short forwards keep their dense probes and backward.
+    EXPECT_EQ(resolve(AttnChoice::Int8, false, false, false, false, 16),
+              AttnBackendKind::Dense);
+    // Hook-free long sequences may run integer attention.
+    EXPECT_EQ(resolve(AttnChoice::Int8, false, false, false, false,
+                      kStreamingAutoSeqLen),
+              AttnBackendKind::Int8);
+    // Hard dense requirements always win.
+    EXPECT_EQ(resolve(AttnChoice::Int8, true, true, false, false, 4096),
+              AttnBackendKind::Dense);
+    EXPECT_EQ(resolve(AttnChoice::Int8, true, false, true, false, 4096),
+              AttnBackendKind::Dense);
+}
+
+TEST(Int8Backend, ParseAndName)
+{
+    AttnChoice c = AttnChoice::Auto;
+    EXPECT_TRUE(parseAttnChoice("int8", c));
+    EXPECT_EQ(c, AttnChoice::Int8);
+    const AttentionBackend &b = attentionBackend(AttnBackendKind::Int8);
+    EXPECT_EQ(b.kind(), AttnBackendKind::Int8);
+    EXPECT_FALSE(b.capturesScores());
+    EXPECT_STREQ(b.name(), "int8");
+}
+
+TEST(Int8Backend, HeadMatchesDenseWithinQuantTolerance)
+{
+    Rng rng(30);
+    const size_t n = 20, dh = 16;
+    const Matrix q = Matrix::randomNormal(n, dh, rng);
+    const Matrix k = Matrix::randomNormal(n, dh, rng);
+    const Matrix v = Matrix::randomNormal(n, dh, rng);
+    Matrix causal(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j <= i; ++j)
+            causal.row(i)[j] = 1.0f;
+
+    AttnHeadProblem p;
+    p.q = &q;
+    p.k = &k;
+    p.v = &v;
+    p.scale = 1.0f / std::sqrt(static_cast<float>(dh));
+    p.dense_mask = &causal;
+
+    const AttnHeadResult dense =
+        attentionBackend(AttnBackendKind::Dense).runHead(p);
+    const AttnHeadResult i8 =
+        attentionBackend(AttnBackendKind::Int8).runHead(p);
+    ASSERT_EQ(i8.z.rows(), dense.z.rows());
+    ASSERT_EQ(i8.z.cols(), dense.z.cols());
+    EXPECT_LT(relMse(dense.z, i8.z), 0.01);
+    EXPECT_LT(Matrix::maxAbsDiff(dense.z, i8.z), 0.2);
+    // Masked (future) positions never leak: row 0 attends only to 0.
+    for (size_t j = 0; j < dh; ++j)
+        EXPECT_NEAR(i8.z(0, j), v(0, j), 0.05);
+}
+
+} // namespace
+} // namespace dota

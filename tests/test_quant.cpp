@@ -4,6 +4,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "tensor/int8_gemm.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quant.hpp"
 
@@ -128,6 +132,112 @@ TEST(Quant, IntegerGemmApproximatesFloat)
     const Matrix out = quantizedMatmulBT(quantize(a, 8), quantize(b, 8));
     // INT8 keeps relative error small on well-conditioned inputs.
     EXPECT_LT(mse(ref, out) / (mse(ref, Matrix(8, 8)) + 1e-9), 1e-3);
+}
+
+TEST(Quant, SaturatesAtGridEdges)
+{
+    // A scale calibrated for |x| <= 1 must clamp out-of-range values to
+    // the edge codes instead of wrapping.
+    Matrix m(1, 4, std::vector<float>{100.0f, -100.0f, 0.5f, -0.25f});
+    QuantParams p;
+    p.scale = 1.0f / 127.0f;
+    p.bits = 8;
+    const QuantizedMatrix q = quantize(m, p);
+    EXPECT_EQ(q.at(0, 0), p.qmax());
+    EXPECT_EQ(q.at(0, 1), p.qmin());
+    EXPECT_EQ(q.at(0, 2), 64);  // round(0.5 * 127) = 64
+    EXPECT_EQ(q.at(0, 3), -32); // round(-0.25 * 127) = -32
+}
+
+TEST(Quant, DegenerateScaleIsSafe)
+{
+    // scale <= 0 or non-finite degrades to 1 instead of dividing by it.
+    Matrix m(1, 3, std::vector<float>{1.0f, -2.0f, 0.25f});
+    for (float bad : {0.0f, -3.0f, std::numeric_limits<float>::quiet_NaN(),
+                      std::numeric_limits<float>::infinity()}) {
+        QuantParams p;
+        p.scale = bad;
+        p.bits = 8;
+        const QuantizedMatrix q = quantize(m, p);
+        EXPECT_EQ(q.at(0, 0), 1);
+        EXPECT_EQ(q.at(0, 1), -2);
+        EXPECT_EQ(q.at(0, 2), 0);
+    }
+}
+
+TEST(Quant, EmptyTensorCalibration)
+{
+    const Matrix m; // 0 x 0
+    const QuantParams p = chooseSymmetricScale(m, 8);
+    EXPECT_EQ(p.scale, 1.0f);
+    const QuantizedMatrix q = quantize(m, p);
+    EXPECT_EQ(q.rows(), 0u);
+    EXPECT_EQ(q.cols(), 0u);
+}
+
+TEST(Quant, NonFiniteElementsDoNotPoisonCalibration)
+{
+    // Calibration skips NaN/Inf when picking the scale; quantization
+    // then maps NaN to 0 and saturates Inf at the grid edge.
+    Matrix m(1, 4,
+             std::vector<float>{1.0f, std::numeric_limits<float>::quiet_NaN(),
+                                std::numeric_limits<float>::infinity(),
+                                -2.0f});
+    const QuantParams p = chooseSymmetricScale(m, 8);
+    EXPECT_NEAR(p.scale, 2.0 / 127.0, 1e-6);
+    const QuantizedMatrix q = quantize(m, p);
+    EXPECT_EQ(q.at(0, 1), 0);
+    EXPECT_EQ(q.at(0, 2), p.qmax());
+    EXPECT_EQ(q.at(0, 3), p.qmin() + 1); // symmetric round: -127
+}
+
+TEST(Quant, ScaleFromMaxAbsGuards)
+{
+    EXPECT_EQ(symmetricScaleFromMaxAbs(0.0f, 127), 1.0f);
+    EXPECT_EQ(symmetricScaleFromMaxAbs(-1.0f, 127), 1.0f);
+    EXPECT_EQ(
+        symmetricScaleFromMaxAbs(std::numeric_limits<float>::quiet_NaN(), 127),
+        1.0f);
+    EXPECT_EQ(symmetricScaleFromMaxAbs(
+                  std::numeric_limits<float>::infinity(), 127),
+              1.0f);
+    EXPECT_NEAR(symmetricScaleFromMaxAbs(12.7f, 127), 0.1f, 1e-6);
+}
+
+TEST(Quant, U8ZeroPointRoundTrip)
+{
+    // The u8 activation encoding stores 7-bit symmetric codes shifted by
+    // zero point 64: every byte lies in [1, 127] (the saturation-free
+    // maddubs contract) and dequantize() removes the shift exactly.
+    Rng rng(38);
+    const Matrix m = Matrix::randomNormal(4, 6, rng);
+    const float scale = symmetricScaleFromMaxAbs(
+        static_cast<float>(Matrix::maxAbsDiff(m, Matrix(4, 6))), kU8ActQmax);
+    const U8Tensor t = quantizeU8(m, scale);
+    EXPECT_EQ(t.zero_point, kU8ZeroPoint);
+    for (uint8_t c : t.codes) {
+        EXPECT_GE(c, kU8ZeroPoint - kU8ActQmax);
+        EXPECT_LE(c, kU8ZeroPoint + kU8ActQmax);
+    }
+    EXPECT_LE(Matrix::maxAbsDiff(dequantize(t), m), 0.5 * scale + 1e-6);
+}
+
+TEST(Quant, S8SaturationAndNaN)
+{
+    // The s8 B-side grid is symmetric (codes in [-127, 127], never
+    // -128) and maps NaN to 0, matching quantizeOne's contract.
+    Matrix m(1, 4,
+             std::vector<float>{50.0f, -50.0f,
+                                std::numeric_limits<float>::quiet_NaN(),
+                                0.5f});
+    const Int8Tensor t = quantizeS8(m, 1.0f / kS8Qmax);
+    EXPECT_EQ(t.codes[0], kS8Qmax);
+    EXPECT_EQ(t.codes[1], -kS8Qmax);
+    EXPECT_EQ(t.codes[2], 0);
+    EXPECT_EQ(t.codes[3], 64);
+    // row_sums must agree with the stored codes (zero-point compensation
+    // depends on it).
+    EXPECT_EQ(t.row_sums[0], 127 - 127 + 0 + 64);
 }
 
 TEST(Quant, PackedBytes)
